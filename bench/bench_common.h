@@ -1,0 +1,61 @@
+// Shared helpers for the figure/table regeneration benches.
+//
+// Every bench binary accepts `key=value` overrides (work_scale=, duration=,
+// seed=, csv_dir=) so the full-fidelity runs can be sped up when needed.
+// All default to the paper's native scale.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/ascii_chart.h"
+#include "common/config.h"
+#include "experiments/json_export.h"
+#include "experiments/report.h"
+#include "experiments/runner.h"
+
+namespace conscale::bench {
+
+struct BenchEnv {
+  ScenarioParams params;
+  SimDuration duration = 720.0;
+  std::string csv_dir;
+
+  static BenchEnv from_args(int argc, char** argv) {
+    const Config config = Config::from_args(argc, argv);
+    BenchEnv env;
+    env.params = ScenarioParams::paper_default();
+    env.params.work_scale = config.get_double("work_scale", 1.0);
+    env.params.seed = static_cast<std::uint64_t>(config.get_int("seed", 12345));
+    env.duration = config.get_double("duration", 720.0);
+    env.csv_dir = config.get_string("csv_dir", "");
+    return env;
+  }
+
+  void maybe_dump(const std::string& stem, const ScalingRunResult& r) const {
+    if (csv_dir.empty()) return;
+    dump_system_csv(csv_dir + "/" + stem + ".csv", r);
+    export_run_json(csv_dir + "/" + stem + ".json", r);
+    std::cout << "  (csv+json written to " << csv_dir << "/" << stem
+              << ".{csv,json})\n";
+  }
+
+  void maybe_dump(const std::string& stem, const ScatterRunResult& r) const {
+    if (csv_dir.empty()) return;
+    dump_scatter_csv(csv_dir + "/" + stem + ".csv", r);
+    std::cout << "  (csv written to " << csv_dir << "/" << stem << ".csv)\n";
+  }
+};
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n================================================================\n"
+            << title << "\n" << paper_ref
+            << "\n================================================================\n";
+}
+
+/// Paper-vs-measured comparison line for EXPERIMENTS.md bookkeeping.
+inline void paper_note(const std::string& note) {
+  std::cout << "  [paper] " << note << "\n";
+}
+
+}  // namespace conscale::bench

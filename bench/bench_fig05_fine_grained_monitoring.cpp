@@ -1,0 +1,77 @@
+// Figure 5: "Fine-grained monitoring of MySQL when the 3-tier system serves
+// a realistic bursty workload" — MySQL's 50 ms concurrency, throughput, and
+// response time over a 20-second window right after the system scales from
+// 1/1/1 to 1/2/1 (i.e. right after the first Tomcat scale-out completes),
+// under hardware-only scaling. This is the raw material of the SCT scatter.
+#include <algorithm>
+
+#include "bench_common.h"
+
+using namespace conscale;
+using namespace conscale::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::from_args(argc, argv);
+  banner("Figure 5 — 50 ms monitoring of MySQL after a Tomcat scale-out",
+         "Paper: concurrency/TP/RT all fluctuate hard once the second Tomcat "
+         "doubles the concurrent requests into MySQL.");
+
+  ScalingRunOptions options;
+  options.duration = env.duration;
+  const ScalingRunResult result =
+      run_scaling(env.params, TraceKind::kLargeVariations,
+                  FrameworkKind::kEc2AutoScaling, options);
+
+  // The paper's window (85-105 s) is where MySQL concurrency fluctuates the
+  // hardest after a Tomcat joins; our trace timing differs, so locate the
+  // 20 s window around MySQL1's highest observed concurrency — by
+  // construction that is the post-scale-out overload the figure shows.
+  const auto& full_series = result.warehouse->server_series("MySQL1");
+  SimTime peak_time = 90.0;
+  double peak_q = 0.0;
+  for (const auto& s : full_series) {
+    if (s.concurrency > peak_q) {
+      peak_q = s.concurrency;
+      peak_time = s.t_end;
+    }
+  }
+  const SimTime window_end = peak_time + 10.0;
+  std::cout << "  window: [" << window_end - 20.0 << " s, " << window_end
+            << " s] (peak MySQL concurrency " << static_cast<int>(peak_q)
+            << " at t=" << peak_time << " s)\n";
+
+  const auto samples =
+      result.warehouse->server_window("MySQL1", 20.0, window_end);
+  Series q, tp, rt;
+  q.name = "concurrency [#]";
+  tp.name = "throughput [queries/s]";
+  rt.name = "response time [ms]";
+  for (const auto& s : samples) {
+    q.x.push_back(s.t_end);
+    q.y.push_back(s.concurrency);
+    tp.x.push_back(s.t_end);
+    tp.y.push_back(s.throughput);
+    rt.x.push_back(s.t_end);
+    rt.y.push_back(s.mean_rt * 1e3);
+  }
+  ChartOptions co;
+  co.x_label = "Timeline [s]";
+  co.height = 12;
+  co.y_label = "Fig 5(a): MySQL workload concurrency";
+  std::cout << render_lines({q}, co);
+  co.y_label = "Fig 5(b): MySQL throughput [queries/s]";
+  std::cout << render_lines({tp}, co);
+  co.y_label = "Fig 5(c): MySQL response time [ms]";
+  std::cout << render_lines({rt}, co);
+
+  double q_min = 1e18, q_max = 0.0;
+  for (const auto& s : samples) {
+    q_min = std::min(q_min, s.concurrency);
+    q_max = std::max(q_max, s.concurrency);
+  }
+  std::cout << "  concurrency range in window: [" << q_min << ", " << q_max
+            << "] across " << samples.size() << " samples\n";
+  paper_note("Fig 5: MySQL concurrency swings from near-0 to ~80 within the "
+             "same 20 s; throughput and RT fluctuate correspondingly.");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 9: "Realistic workload traces used in our experiments" — the six
+// bursty user-count shapes (after Gandhi et al.'s categorization).
+#include "bench_common.h"
+
+using namespace conscale;
+using namespace conscale::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::from_args(argc, argv);
+  banner("Figure 9 — the six bursty workload traces",
+         "Paper: large variations / quickly varying / slowly varying / big "
+         "spike / dual phase / steep tri phase; <= 7500 users over 12 min.");
+
+  TraceParams tp;
+  tp.duration = env.duration;
+  tp.max_users = env.params.scaled_users(env.params.max_users);
+  tp.seed = env.params.seed;
+  for (TraceKind kind : all_trace_kinds()) {
+    const WorkloadTrace trace = make_trace(kind, tp);
+    Series s;
+    s.name = trace.name();
+    for (std::size_t i = 0; i < trace.samples().size(); i += 2) {
+      s.x.push_back(static_cast<double>(i) * trace.sample_period());
+      s.y.push_back(trace.samples()[i]);
+    }
+    ChartOptions co;
+    co.x_label = "Timeline [s]";
+    co.y_label = "Users [#] — " + trace.name();
+    co.height = 10;
+    std::cout << render_lines({s}, co);
+    std::cout << "  peak=" << static_cast<int>(trace.peak_users())
+              << " users, start="
+              << static_cast<int>(trace.samples().front()) << " users\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the simulator and
+// the SCT pipeline: event scheduling, processor-sharing churn, token-pool
+// traffic, interval aggregation, scatter folding, and estimation. These
+// bound the cost per simulated event — what the wall-clock time of every
+// figure bench is made of.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "metrics/interval.h"
+#include "resources/ps_resource.h"
+#include "resources/token_pool.h"
+#include "sct/estimator.h"
+#include "sct/scatter.h"
+#include "simcore/simulation.h"
+#include "tier/server.h"
+#include "workload/trace.h"
+
+namespace conscale {
+namespace {
+
+void BM_EventScheduleAndRun(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    Simulation sim;
+    for (std::size_t i = 0; i < batch; ++i) {
+      sim.schedule_at(rng.uniform(0.0, 100.0), [] {});
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(batch) *
+                          state.iterations());
+}
+BENCHMARK(BM_EventScheduleAndRun)->Arg(1024)->Arg(16384);
+
+void BM_EventCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    std::vector<EventHandle> handles;
+    handles.reserve(4096);
+    for (int i = 0; i < 4096; ++i) {
+      handles.push_back(sim.schedule_at(static_cast<double>(i), [] {}));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 2) handles[i].cancel();
+    sim.run_all();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+}
+BENCHMARK(BM_EventCancelHeavy);
+
+void BM_PsResourceChurn(benchmark::State& state) {
+  const auto concurrency = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulation sim;
+    ProcessorSharingResource cpu(sim, 2, 1.0, ContentionModel{8.0, 0.01, 1.0});
+    Rng rng(7);
+    int completions = 0;
+    // Keep `concurrency` jobs alive; every completion resubmits.
+    std::function<void()> resubmit = [&] {
+      ++completions;
+      if (completions < 2000) {
+        cpu.submit(rng.exponential(0.001), resubmit);
+      }
+    };
+    for (int i = 0; i < concurrency; ++i) {
+      cpu.submit(rng.exponential(0.001), resubmit);
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(completions);
+  }
+  state.SetItemsProcessed(2000 * state.iterations());
+}
+BENCHMARK(BM_PsResourceChurn)->Arg(4)->Arg(32)->Arg(128);
+
+void BM_TokenPoolAcquireRelease(benchmark::State& state) {
+  TokenPool pool("bench", 16);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      pool.acquire([] {});
+    }
+    for (int i = 0; i < 64; ++i) pool.release();
+  }
+  state.SetItemsProcessed(64 * state.iterations());
+}
+BENCHMARK(BM_TokenPoolAcquireRelease);
+
+void BM_ServerRequestPath(benchmark::State& state) {
+  // Full per-request path through one server: thread pool, CPU phase,
+  // pure delay, departure hooks.
+  RequestClass cls;
+  cls.name = "bench";
+  cls.demand_cv = 0.2;
+  cls.tiers.resize(1);
+  cls.tiers[0].cpu_pre = 0.0005;
+  cls.tiers[0].pure_delay = 0.002;
+  for (auto _ : state) {
+    Simulation sim;
+    Server::Params params;
+    params.thread_pool_size = 32;
+    Server server(sim, params);
+    int done = 0;
+    std::function<void()> feed = [&] {
+      if (done >= 1000) return;
+      RequestContext ctx;
+      ctx.id = static_cast<std::uint64_t>(done);
+      ctx.request_class = &cls;
+      server.handle(ctx, [&] { ++done; });
+    };
+    for (int i = 0; i < 1000; ++i) sim.schedule_at(i * 0.0005, feed);
+    sim.run_all();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(1000 * state.iterations());
+}
+BENCHMARK(BM_ServerRequestPath);
+
+void BM_ScatterFold(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<IntervalSample> samples(10000);
+  for (auto& s : samples) {
+    s.concurrency = rng.uniform(1.0, 80.0);
+    s.throughput = rng.uniform(100.0, 8000.0);
+    s.mean_rt = rng.uniform(0.001, 0.2);
+    s.completions = 5;
+  }
+  for (auto _ : state) {
+    ScatterSet scatter;
+    scatter.add_all(samples);
+    benchmark::DoNotOptimize(scatter.bucket_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(samples.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_ScatterFold);
+
+void BM_SctEstimate(benchmark::State& state) {
+  Rng rng(5);
+  ScatterSet scatter;
+  for (int rep = 0; rep < 40; ++rep) {
+    for (int q = 1; q <= 80; ++q) {
+      IntervalSample s;
+      s.concurrency = q;
+      const double tp = q <= 15 ? 5000.0 * q / 15.0
+                       : q <= 35 ? 5000.0
+                                 : 5000.0 - 40.0 * (q - 35);
+      s.throughput = rng.normal(tp, 150.0);
+      s.completions = 5;
+      scatter.add(s);
+    }
+  }
+  SctEstimator estimator;
+  for (auto _ : state) {
+    auto range = estimator.estimate(scatter);
+    benchmark::DoNotOptimize(range);
+  }
+}
+BENCHMARK(BM_SctEstimate);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  TraceParams params;
+  for (auto _ : state) {
+    for (TraceKind kind : all_trace_kinds()) {
+      const WorkloadTrace trace = make_trace(kind, params);
+      benchmark::DoNotOptimize(trace.peak_users());
+    }
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+}  // namespace
+}  // namespace conscale
+
+BENCHMARK_MAIN();

@@ -1,0 +1,172 @@
+#include "analysis/mva.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace conscale {
+
+namespace {
+
+struct PreparedStation {
+  MvaStation::Kind kind;
+  double queue_demand = 0.0;  ///< demand at the queueing part
+  double delay_demand = 0.0;  ///< demand served as pure delay
+  ContentionModel contention;
+  std::size_t source_index = 0;  ///< index into the caller's station list
+};
+
+// Applies the Seidmann multi-server transformation and splits each input
+// station into queueing + delay components.
+std::vector<PreparedStation> prepare(const std::vector<MvaStation>& stations) {
+  if (stations.empty()) {
+    throw std::invalid_argument("MVA: no stations");
+  }
+  std::vector<PreparedStation> prepared;
+  for (std::size_t index = 0; index < stations.size(); ++index) {
+    const auto& s = stations[index];
+    if (s.demand < 0.0) {
+      throw std::invalid_argument("MVA: negative demand at " + s.name);
+    }
+    if (s.demand == 0.0) continue;
+    PreparedStation p;
+    p.kind = s.kind;
+    p.contention = s.contention;
+    p.source_index = index;
+    if (s.kind == MvaStation::Kind::kDelay) {
+      p.delay_demand = s.demand;
+    } else if (s.servers <= 1) {
+      p.queue_demand = s.demand;
+    } else {
+      // Seidmann et al.: m-server station ~ queueing station with demand
+      // D/m plus a delay of D(m-1)/m. Exact at m=1; good above.
+      const double m = static_cast<double>(s.servers);
+      p.queue_demand = s.demand / m;
+      p.delay_demand = s.demand * (m - 1.0) / m;
+    }
+    prepared.push_back(p);
+  }
+  if (prepared.empty()) {
+    throw std::invalid_argument("MVA: all stations have zero demand");
+  }
+  return prepared;
+}
+
+}  // namespace
+
+std::vector<MvaPoint> solve_mva(const std::vector<MvaStation>& stations,
+                                int n_max) {
+  if (n_max < 1) throw std::invalid_argument("MVA: n_max must be >= 1");
+  const auto prepared = prepare(stations);
+  const std::size_t k = prepared.size();
+
+  std::vector<MvaPoint> curve;
+  curve.reserve(static_cast<std::size_t>(n_max));
+  std::vector<double> queue(k, 0.0);  // Q_k(n-1)
+
+  for (int n = 1; n <= n_max; ++n) {
+    // Contention makes effective demand depend on the station's own
+    // population at *this* n, which MVA computes from these very demands —
+    // so iterate the fixed point (converges in a few rounds; the demand
+    // inflation is a smooth monotone function of local population).
+    std::vector<double> local_q = queue;  // initial guess: last population's
+    std::vector<double> residence(k, 0.0);
+    double throughput = 0.0;
+    for (int iteration = 0; iteration < 20; ++iteration) {
+      double total_residence = 0.0;
+      for (std::size_t i = 0; i < k; ++i) {
+        const auto& s = prepared[i];
+        // Effective demand under contention at the station's current load.
+        const double inflation =
+            1.0 / s.contention.efficiency(std::max(local_q[i], 1.0));
+        const double dq = s.queue_demand * inflation;
+        residence[i] = s.delay_demand + dq * (1.0 + queue[i]);
+        total_residence += residence[i];
+      }
+      throughput = static_cast<double>(n) / total_residence;
+      bool converged = true;
+      for (std::size_t i = 0; i < k; ++i) {
+        const double new_q = throughput * residence[i];
+        if (std::abs(new_q - local_q[i]) > 1e-9) converged = false;
+        local_q[i] = new_q;
+      }
+      if (converged) break;
+    }
+
+    MvaPoint point;
+    point.population = n;
+    point.throughput = throughput;
+    point.response_time = static_cast<double>(n) / throughput;
+    // Report per *input* station so callers can index by their own list
+    // (zero-demand stations simply stay at zero).
+    point.queue_lengths.assign(stations.size(), 0.0);
+    point.utilizations.assign(stations.size(), 0.0);
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto& s = prepared[i];
+      const double inflation =
+          1.0 / s.contention.efficiency(std::max(local_q[i], 1.0));
+      point.queue_lengths[s.source_index] = local_q[i];
+      point.utilizations[s.source_index] =
+          s.queue_demand > 0.0
+              ? std::min(throughput * s.queue_demand * inflation, 1.0)
+              : 0.0;
+      queue[i] = local_q[i];
+    }
+    curve.push_back(std::move(point));
+  }
+  return curve;
+}
+
+MvaPoint solve_mva_at(const std::vector<MvaStation>& stations, int n) {
+  auto curve = solve_mva(stations, n);
+  return curve.back();
+}
+
+AnalyticalRange analytical_range(const std::vector<MvaStation>& stations,
+                                 int n_max, double tolerance) {
+  const auto curve = solve_mva(stations, n_max);
+  AnalyticalRange range;
+  for (const auto& p : curve) {
+    if (p.throughput > range.tp_max) {
+      range.tp_max = p.throughput;
+      range.peak_population = p.population;
+    }
+  }
+  const double floor = (1.0 - tolerance) * range.tp_max;
+  range.q_lower = curve.back().population;
+  for (const auto& p : curve) {
+    if (p.throughput >= floor) {
+      range.q_lower = p.population;
+      break;
+    }
+  }
+  range.q_upper = range.q_lower;
+  for (const auto& p : curve) {
+    if (p.throughput >= floor) range.q_upper = p.population;
+  }
+  return range;
+}
+
+AsymptoticBounds asymptotic_bounds(const std::vector<MvaStation>& stations) {
+  const auto prepared = prepare(stations);
+  AsymptoticBounds bounds;
+  double d_max = 0.0;
+  double d_total = 0.0;
+  double z_total = 0.0;
+  for (const auto& s : prepared) {
+    d_max = std::max(d_max, s.queue_demand);
+    d_total += s.queue_demand;
+    z_total += s.delay_demand;
+  }
+  if (d_max <= 0.0) {
+    // Pure delay network: throughput grows without queueing bound.
+    bounds.max_throughput = 0.0;
+    bounds.knee_population = 0.0;
+    return bounds;
+  }
+  bounds.max_throughput = 1.0 / d_max;
+  bounds.knee_population = (d_total + z_total) / d_max;
+  return bounds;
+}
+
+}  // namespace conscale

@@ -1,0 +1,82 @@
+// Mean Value Analysis (MVA) for closed queueing networks — the classic
+// analytical machinery (Lazowska et al., "Quantitative System Performance",
+// the paper's reference [13]) behind offline concurrency profiling: DCM-style
+// frameworks derive their optimal settings from exactly this kind of model.
+//
+// Implemented here:
+//  * exact single-class MVA over queueing (PS/FCFS) and delay stations;
+//  * a multi-server correction (Seidmann et al. approximation: an m-server
+//    station becomes a queueing station with demand D/m plus a delay D(m-1)/m);
+//  * a contention extension: a station's effective demand grows with its
+//    local population per the same ContentionModel the simulator uses
+//    (iterated fixed point per population step), reproducing the paper's
+//    descending stage analytically;
+//  * curve utilities: throughput-vs-population and the analytical
+//    [Q_lower, Q_upper] range, directly comparable to the SCT estimate.
+//
+// The simulator measures; MVA predicts. tests/analysis cross-validates them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "resources/contention.h"
+
+namespace conscale {
+
+struct MvaStation {
+  enum class Kind {
+    kQueueing,  ///< contended resource (CPU, disk): queueing applies
+    kDelay      ///< pure latency (think time, network): no queueing
+  };
+  std::string name;
+  Kind kind = Kind::kQueueing;
+  /// Mean service demand per job visit-aggregated [seconds].
+  double demand = 0.0;
+  /// Parallel servers at the station (cores / disk channels). Only
+  /// meaningful for queueing stations.
+  int servers = 1;
+  /// Multithreading-overhead model; inflates the *effective* demand as the
+  /// station's local population grows.
+  ContentionModel contention = ContentionModel::none();
+};
+
+struct MvaPoint {
+  int population = 0;
+  double throughput = 0.0;     ///< jobs/s
+  double response_time = 0.0;  ///< total residence excluding pure delays? no:
+                               ///< full cycle time minus nothing — R = N/X
+  std::vector<double> queue_lengths;  ///< mean jobs at each station
+  std::vector<double> utilizations;   ///< per station, in [0,1]
+};
+
+/// Exact MVA evaluated at every population 1..n_max.
+/// Throws std::invalid_argument on empty stations or non-positive demands
+/// (zero-demand stations are allowed and simply dropped).
+std::vector<MvaPoint> solve_mva(const std::vector<MvaStation>& stations,
+                                int n_max);
+
+/// Just the final point (population == n).
+MvaPoint solve_mva_at(const std::vector<MvaStation>& stations, int n);
+
+/// The analytical rational concurrency range: Q_lower is the smallest
+/// population whose throughput is within `tolerance` of the curve's maximum,
+/// Q_upper the largest. Mirrors the SCT plateau definition (§III-A).
+struct AnalyticalRange {
+  int q_lower = 0;
+  int q_upper = 0;
+  double tp_max = 0.0;
+  int peak_population = 0;
+};
+AnalyticalRange analytical_range(const std::vector<MvaStation>& stations,
+                                 int n_max, double tolerance = 0.05);
+
+/// Asymptotic bounds (operational laws): X(n) <= min(n / (D_total + Z),
+/// 1 / D_bottleneck) — useful for sanity checks and capacity planning.
+struct AsymptoticBounds {
+  double max_throughput = 0.0;   ///< 1 / max demand
+  double knee_population = 0.0;  ///< (D_total + Z) / D_bottleneck
+};
+AsymptoticBounds asymptotic_bounds(const std::vector<MvaStation>& stations);
+
+}  // namespace conscale

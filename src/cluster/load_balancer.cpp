@@ -1,0 +1,80 @@
+#include "cluster/load_balancer.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace conscale {
+
+std::string to_string(LbPolicy policy) {
+  switch (policy) {
+    case LbPolicy::kRoundRobin:
+      return "roundrobin";
+    case LbPolicy::kLeastConnections:
+      return "leastconn";
+  }
+  return "?";
+}
+
+LoadBalancer::LoadBalancer(std::string name, LbPolicy policy)
+    : name_(std::move(name)), policy_(policy) {}
+
+void LoadBalancer::add_backend(Server* server) {
+  if (std::find(backends_.begin(), backends_.end(), server) !=
+      backends_.end()) {
+    return;
+  }
+  backends_.push_back(server);
+  outstanding_.try_emplace(server, 0);
+}
+
+void LoadBalancer::remove_backend(Server* server) {
+  backends_.erase(std::remove(backends_.begin(), backends_.end(), server),
+                  backends_.end());
+  // Keep the outstanding entry until its connections drain; dispatch
+  // completions still decrement it.
+}
+
+std::size_t LoadBalancer::outstanding(const Server* server) const {
+  auto it = outstanding_.find(server);
+  return it == outstanding_.end() ? 0 : it->second;
+}
+
+Server* LoadBalancer::choose_backend() {
+  if (backends_.empty()) {
+    throw std::runtime_error("LoadBalancer '" + name_ + "': no backends");
+  }
+  switch (policy_) {
+    case LbPolicy::kRoundRobin: {
+      rr_index_ = (rr_index_ + 1) % backends_.size();
+      return backends_[rr_index_];
+    }
+    case LbPolicy::kLeastConnections: {
+      Server* best = nullptr;
+      std::size_t best_count = std::numeric_limits<std::size_t>::max();
+      // Scan order makes ties deterministic (first added wins).
+      for (Server* s : backends_) {
+        const std::size_t count = outstanding_[s];
+        if (count < best_count) {
+          best = s;
+          best_count = count;
+        }
+      }
+      return best;
+    }
+  }
+  return backends_.front();
+}
+
+void LoadBalancer::dispatch(const RequestContext& ctx, Completion done) {
+  Server* target = choose_backend();
+  ++outstanding_[target];
+  ++dispatched_;
+  target->handle(ctx, [this, target, done = std::move(done)] {
+    auto it = outstanding_.find(target);
+    if (it != outstanding_.end() && it->second > 0) --it->second;
+    done();
+  });
+}
+
+}  // namespace conscale

@@ -1,0 +1,54 @@
+// LoadBalancer: the HAProxy stand-in that fronts each scalable tier.
+// The paper deploys HAProxy for both the app and DB tiers and uses the
+// `leastconn` policy (§IV-A); round-robin and weighted variants are provided
+// for the LB-policy ablation.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tier/server.h"
+#include "workload/request.h"
+
+namespace conscale {
+
+enum class LbPolicy { kRoundRobin, kLeastConnections };
+
+std::string to_string(LbPolicy policy);
+
+class LoadBalancer {
+ public:
+  using Completion = std::function<void()>;
+
+  LoadBalancer(std::string name, LbPolicy policy);
+
+  void add_backend(Server* server);
+  /// Stops new dispatches to `server`; in-flight requests complete normally.
+  void remove_backend(Server* server);
+
+  /// Dispatches to a backend per policy. Throws std::runtime_error if no
+  /// backend is registered (the cluster layer guarantees at least one).
+  void dispatch(const RequestContext& ctx, Completion done);
+
+  void set_policy(LbPolicy policy) { policy_ = policy; }
+  LbPolicy policy() const { return policy_; }
+  std::size_t backend_count() const { return backends_.size(); }
+  std::size_t outstanding(const Server* server) const;
+  std::uint64_t total_dispatched() const { return dispatched_; }
+  const std::vector<Server*>& backends() const { return backends_; }
+
+ private:
+  Server* choose_backend();
+
+  std::string name_;
+  LbPolicy policy_;
+  std::vector<Server*> backends_;
+  std::unordered_map<const Server*, std::size_t> outstanding_;
+  std::size_t rr_index_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace conscale

@@ -1,0 +1,53 @@
+// NTierSystem: the assembled web application — a chain of TierGroups
+// (web -> app -> db in the RUBBoS default, deeper chains allowed) with
+// synchronous RPC wiring between adjacent tiers. This is the system under
+// test for every experiment: clients call submit(), scaling frameworks
+// manipulate the tiers.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/tier_group.h"
+#include "simcore/simulation.h"
+#include "workload/request.h"
+
+namespace conscale {
+
+struct SystemConfig {
+  std::vector<TierConfig> tiers;
+  /// Initial number of VMs per tier (the paper's #Web/#App/#DB notation;
+  /// e.g. {1,1,1} for the 1/1/1 topology). Must match tiers.size().
+  std::vector<std::size_t> initial_vms;
+};
+
+class NTierSystem {
+ public:
+  /// (tier index, vm) — fired whenever any tier brings a VM online.
+  using VmReadyCallback = std::function<void(std::size_t, Vm&)>;
+
+  NTierSystem(Simulation& sim, SystemConfig config);
+
+  /// Client entry point: dispatch into the front tier.
+  void submit(const RequestContext& ctx, std::function<void()> done);
+
+  std::size_t tier_count() const { return tiers_.size(); }
+  TierGroup& tier(std::size_t index) { return *tiers_[index]; }
+  const TierGroup& tier(std::size_t index) const { return *tiers_[index]; }
+  /// Finds a tier by name; throws std::out_of_range if absent.
+  TierGroup& tier_by_name(const std::string& name);
+
+  std::size_t total_billed_vms() const;
+
+  /// Multiple subscribers are supported (metrics, scaling policies, ...).
+  void add_vm_ready_callback(VmReadyCallback callback);
+
+ private:
+  Simulation& sim_;
+  std::vector<std::unique_ptr<TierGroup>> tiers_;
+  std::vector<VmReadyCallback> on_vm_ready_;
+};
+
+}  // namespace conscale

@@ -1,0 +1,159 @@
+#include "cluster/tier_group.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace conscale {
+
+TierGroup::TierGroup(Simulation& sim, TierConfig config)
+    : sim_(sim), config_(std::move(config)),
+      lb_(config_.name + ".lb", config_.lb_policy),
+      thread_pool_size_(config_.server_template.thread_pool_size),
+      downstream_pool_size_(config_.server_template.downstream_pool_size) {}
+
+std::unique_ptr<Vm> TierGroup::make_vm(SimDuration prep_delay) {
+  Server::Params params = config_.server_template;
+  params.name = config_.name + std::to_string(next_vm_number_);
+  params.tier_index = config_.tier_index;
+  params.thread_pool_size = thread_pool_size_;
+  params.downstream_pool_size = downstream_pool_size_;
+  // Distinct demand-sampling streams per VM, still fully deterministic.
+  params.seed = config_.server_template.seed + next_vm_number_ * 7919;
+  ++next_vm_number_;
+
+  auto vm = std::make_unique<Vm>(sim_, std::move(params), prep_delay,
+                                 [this](Vm& ready) {
+                                   lb_.add_backend(&ready.server());
+                                   if (on_vm_ready_) on_vm_ready_(ready);
+                                 });
+  if (downstream_factory_) {
+    vm->server().set_downstream(downstream_factory_());
+  }
+  return vm;
+}
+
+void TierGroup::bootstrap(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    vms_.push_back(make_vm(0.0));
+    vms_.back()->mark_bootstrap();
+    meters_.push_back(std::make_unique<CpuMeter>());
+  }
+}
+
+bool TierGroup::scale_out() {
+  if (billed_vms() >= config_.max_vms) return false;
+  CS_LOG_INFO << config_.name << ": scale-out started at t=" << sim_.now();
+  vms_.push_back(make_vm(config_.vm_prep_delay));
+  meters_.push_back(std::make_unique<CpuMeter>());
+  return true;
+}
+
+bool TierGroup::scale_in() {
+  if (running_vms() <= config_.min_vms) return false;
+  // Retire the most recently added running VM (LIFO keeps the original,
+  // warmed-up servers in place).
+  for (auto it = vms_.rbegin(); it != vms_.rend(); ++it) {
+    Vm* vm = it->get();
+    if (vm->state() == VmState::kRunning) {
+      CS_LOG_INFO << config_.name << ": draining " << vm->name()
+                  << " at t=" << sim_.now();
+      lb_.remove_backend(&vm->server());
+      vm->drain([](Vm&) {});
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TierGroup::set_cores(int cores) {
+  if (cores < 1) return false;
+  config_.server_template.cores = cores;
+  for (const auto& vm : vms_) {
+    if (vm->state() == VmState::kRunning ||
+        vm->state() == VmState::kProvisioning) {
+      vm->server().set_cores(cores);
+    }
+  }
+  CS_LOG_INFO << config_.name << ": vertical scaling to " << cores
+              << " cores";
+  return true;
+}
+
+std::size_t TierGroup::billed_vms() const {
+  std::size_t count = 0;
+  for (const auto& vm : vms_) {
+    if (vm->billed()) ++count;
+  }
+  return count;
+}
+
+std::size_t TierGroup::running_vms() const {
+  std::size_t count = 0;
+  for (const auto& vm : vms_) {
+    if (vm->state() == VmState::kRunning) ++count;
+  }
+  return count;
+}
+
+std::size_t TierGroup::provisioning_vms() const {
+  std::size_t count = 0;
+  for (const auto& vm : vms_) {
+    if (vm->state() == VmState::kProvisioning) ++count;
+  }
+  return count;
+}
+
+std::vector<Server*> TierGroup::running_servers() {
+  std::vector<Server*> servers;
+  for (const auto& vm : vms_) {
+    if (vm->state() == VmState::kRunning) servers.push_back(&vm->server());
+  }
+  return servers;
+}
+
+std::vector<Vm*> TierGroup::all_vms() {
+  std::vector<Vm*> out;
+  out.reserve(vms_.size());
+  for (const auto& vm : vms_) out.push_back(vm.get());
+  return out;
+}
+
+double TierGroup::poll_avg_cpu_utilization() {
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < vms_.size(); ++i) {
+    Vm& vm = *vms_[i];
+    // Meters stay index-aligned with VMs; sample running VMs only, matching
+    // what a per-VM monitoring agent would report.
+    const double util = meters_[i]->sample(
+        sim_.now(), vm.server().cpu_busy_core_seconds(), vm.server().cores());
+    if (vm.state() == VmState::kRunning) {
+      total += util;
+      ++count;
+    }
+  }
+  return count ? total / static_cast<double>(count) : 0.0;
+}
+
+void TierGroup::set_thread_pool_size(std::size_t size) {
+  thread_pool_size_ = std::max<std::size_t>(size, 1);
+  for (const auto& vm : vms_) {
+    if (vm->state() == VmState::kRunning ||
+        vm->state() == VmState::kProvisioning) {
+      vm->server().set_thread_pool_size(thread_pool_size_);
+    }
+  }
+}
+
+void TierGroup::set_downstream_pool_size(std::size_t size) {
+  downstream_pool_size_ = std::max<std::size_t>(size, 1);
+  for (const auto& vm : vms_) {
+    if (vm->state() == VmState::kRunning ||
+        vm->state() == VmState::kProvisioning) {
+      vm->server().set_downstream_pool_size(downstream_pool_size_);
+    }
+  }
+}
+
+}  // namespace conscale

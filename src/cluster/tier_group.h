@@ -1,0 +1,99 @@
+// TierGroup: one horizontally scalable tier — a set of VMs behind a load
+// balancer, with scale-out/in operations and tier-wide soft-resource
+// actuation. The hardware agent calls scale_out()/scale_in(); the software
+// agent calls set_thread_pool_size()/set_downstream_pool_size().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/load_balancer.h"
+#include "cluster/vm.h"
+#include "simcore/simulation.h"
+#include "tier/server.h"
+
+namespace conscale {
+
+struct TierConfig {
+  std::string name = "tier";
+  int tier_index = 0;
+  Server::Params server_template;  ///< name field is overridden per VM
+  SimDuration vm_prep_delay = 15.0;  ///< §IV-A: dataset replication + boot
+  LbPolicy lb_policy = LbPolicy::kLeastConnections;
+  std::size_t min_vms = 1;
+  std::size_t max_vms = 8;
+};
+
+class TierGroup {
+ public:
+  /// Invoked whenever a VM finishes provisioning and joins the LB —
+  /// the metrics layer attaches monitors here, and scaling policies apply
+  /// soft resources to the newcomer.
+  using VmReadyCallback = std::function<void(Vm&)>;
+
+  TierGroup(Simulation& sim, TierConfig config);
+
+  /// Adds `count` VMs immediately (initial topology; no preparation delay).
+  void bootstrap(std::size_t count);
+
+  /// Starts provisioning one VM (takes vm_prep_delay to become Running).
+  /// Returns false when at max capacity (counting in-flight provisioning).
+  bool scale_out();
+
+  /// Drains the most recently added running VM. Returns false at min size.
+  bool scale_in();
+
+  /// Vertical scaling (§III-C.1): sets the core count of every running VM
+  /// in the tier (and of future VMs). Takes effect immediately — hypervisors
+  /// hot-plug vCPUs. Returns false if `cores` < 1.
+  bool set_cores(int cores);
+  int cores() const { return config_.server_template.cores; }
+
+  std::size_t billed_vms() const;    ///< provisioning + running + draining
+  std::size_t running_vms() const;
+  std::size_t provisioning_vms() const;
+  const TierConfig& config() const { return config_; }
+  const std::string& name() const { return config_.name; }
+  LoadBalancer& lb() { return lb_; }
+
+  /// Running servers (monitoring + estimation targets).
+  std::vector<Server*> running_servers();
+  std::vector<Vm*> all_vms();
+
+  /// Average CPU utilization across running VMs since the previous call
+  /// (each TierGroup poll uses its own meters; call at a fixed period).
+  double poll_avg_cpu_utilization();
+
+  // ---- Soft resources, applied tier-wide and remembered for future VMs ----
+  void set_thread_pool_size(std::size_t size);
+  void set_downstream_pool_size(std::size_t size);
+  std::size_t thread_pool_size() const { return thread_pool_size_; }
+  std::size_t downstream_pool_size() const { return downstream_pool_size_; }
+
+  void set_vm_ready_callback(VmReadyCallback callback) {
+    on_vm_ready_ = std::move(callback);
+  }
+  /// The cluster layer wires each new server's downstream here.
+  void set_downstream_factory(std::function<Server::DownstreamFn()> factory) {
+    downstream_factory_ = std::move(factory);
+  }
+
+ private:
+  std::unique_ptr<Vm> make_vm(SimDuration prep_delay);
+
+  Simulation& sim_;
+  TierConfig config_;
+  LoadBalancer lb_;
+  std::vector<std::unique_ptr<Vm>> vms_;
+  std::vector<std::unique_ptr<CpuMeter>> meters_;
+  std::size_t next_vm_number_ = 1;
+  std::size_t thread_pool_size_;
+  std::size_t downstream_pool_size_;
+  VmReadyCallback on_vm_ready_;
+  std::function<Server::DownstreamFn()> downstream_factory_;
+};
+
+}  // namespace conscale

@@ -1,0 +1,73 @@
+#include "cluster/vm.h"
+
+#include "common/logging.h"
+
+namespace conscale {
+
+std::string to_string(VmState state) {
+  switch (state) {
+    case VmState::kProvisioning:
+      return "provisioning";
+    case VmState::kRunning:
+      return "running";
+    case VmState::kDraining:
+      return "draining";
+    case VmState::kStopped:
+      return "stopped";
+  }
+  return "?";
+}
+
+double CpuMeter::sample(SimTime now, double busy_core_seconds, int cores) {
+  if (!primed_) {
+    primed_ = true;
+    last_time_ = now;
+    last_busy_ = busy_core_seconds;
+    return 0.0;
+  }
+  const double dt = now - last_time_;
+  const double dbusy = busy_core_seconds - last_busy_;
+  last_time_ = now;
+  last_busy_ = busy_core_seconds;
+  if (dt <= 0.0 || cores <= 0) return 0.0;
+  const double util = dbusy / (dt * static_cast<double>(cores));
+  return util < 0.0 ? 0.0 : (util > 1.0 ? 1.0 : util);
+}
+
+Vm::Vm(Simulation& sim, Server::Params server_params, SimDuration prep_delay,
+       ReadyCallback on_ready)
+    : sim_(sim), server_(sim, std::move(server_params)) {
+  sim_.schedule_after(prep_delay,
+                      [this, on_ready = std::move(on_ready)]() mutable {
+                        if (state_ != VmState::kProvisioning) return;
+                        state_ = VmState::kRunning;
+                        CS_LOG_DEBUG << "VM " << name() << " ready at t="
+                                     << sim_.now();
+                        if (on_ready) on_ready(*this);
+                      });
+}
+
+void Vm::drain(StoppedCallback on_stopped) {
+  if (state_ == VmState::kStopped || state_ == VmState::kDraining) return;
+  state_ = VmState::kDraining;
+  on_stopped_ = std::move(on_stopped);
+  check_drained();
+}
+
+void Vm::check_drained() {
+  if (state_ != VmState::kDraining) return;
+  if (server_.in_flight() == 0) {
+    state_ = VmState::kStopped;
+    CS_LOG_DEBUG << "VM " << name() << " stopped at t=" << sim_.now();
+    if (on_stopped_) {
+      auto callback = std::move(on_stopped_);
+      callback(*this);
+    }
+    return;
+  }
+  // Poll for drain completion; in-flight work holds no reference to the VM,
+  // so a light poll keeps the coupling one-way.
+  drain_poll_ = sim_.schedule_after(0.1, [this] { check_drained(); });
+}
+
+}  // namespace conscale

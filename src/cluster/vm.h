@@ -1,0 +1,82 @@
+// Vm: a virtual machine hosting one component server.
+//
+// Lifecycle mirrors cloud scale-out mechanics (§IV-A "VM-scaling"):
+// Provisioning (data/state replication + boot, the paper's 15 s preparation
+// period) -> Running (registered with the tier's load balancer) ->
+// Draining (scale-in: removed from the LB, finishing in-flight work) ->
+// Stopped. CPU utilization — the signal threshold-based autoscalers act
+// on — is read with a CpuMeter over the server's busy-core integral.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "simcore/simulation.h"
+#include "tier/server.h"
+
+namespace conscale {
+
+enum class VmState { kProvisioning, kRunning, kDraining, kStopped };
+
+std::string to_string(VmState state);
+
+/// Differentiates a utilization percentage out of a monotone busy-seconds
+/// integral. One meter per poller; stateless servers stay unpolluted.
+class CpuMeter {
+ public:
+  /// Returns average utilization in [0,1] since the previous sample.
+  double sample(SimTime now, double busy_core_seconds, int cores);
+
+ private:
+  SimTime last_time_ = 0.0;
+  double last_busy_ = 0.0;
+  bool primed_ = false;
+};
+
+class Vm {
+ public:
+  using ReadyCallback = std::function<void(Vm&)>;
+  using StoppedCallback = std::function<void(Vm&)>;
+
+  /// Creates the VM in Provisioning state; after `prep_delay` it transitions
+  /// to Running and invokes `on_ready`. A zero delay still transitions via
+  /// the event queue (deterministic ordering with other time-zero work).
+  Vm(Simulation& sim, Server::Params server_params, SimDuration prep_delay,
+     ReadyCallback on_ready);
+
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  Server& server() { return server_; }
+  const Server& server() const { return server_; }
+  VmState state() const { return state_; }
+  const std::string& name() const { return server_.name(); }
+  bool running() const { return state_ == VmState::kRunning; }
+
+  /// Scale-in: stop accepting work (caller must deregister from the LB) and
+  /// stop once in-flight work drains. `on_stopped` fires exactly once.
+  void drain(StoppedCallback on_stopped);
+
+  /// For the "# of VMs" metric: a VM is billed while provisioning, running,
+  /// or draining.
+  bool billed() const { return state_ != VmState::kStopped; }
+
+  /// True for VMs created by the initial topology bootstrap rather than by a
+  /// runtime scale-out. Controllers use this to tell "the system came up"
+  /// apart from "a scaling action completed".
+  bool is_bootstrap() const { return is_bootstrap_; }
+  void mark_bootstrap() { is_bootstrap_ = true; }
+
+ private:
+  void check_drained();
+
+  Simulation& sim_;
+  Server server_;
+  VmState state_ = VmState::kProvisioning;
+  bool is_bootstrap_ = false;
+  StoppedCallback on_stopped_;
+  EventHandle drain_poll_;
+};
+
+}  // namespace conscale

@@ -1,0 +1,45 @@
+// Terminal rendering of the paper's figures: line charts for timelines
+// (Fig 1/5/10/11), scatter plots for SCT correlation graphs (Fig 6/7), and
+// simple bar summaries for tables. The bench binaries print these so a run's
+// output is directly comparable to the paper without external plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace conscale {
+
+struct ChartOptions {
+  int width = 96;        ///< plot area columns
+  int height = 18;       ///< plot area rows
+  std::string x_label;   ///< axis captions
+  std::string y_label;
+  double y_min = 0.0;    ///< fixed lower bound (default 0 — paper style)
+  bool auto_y_min = false;
+  double y_max = 0.0;    ///< 0 => auto from data
+};
+
+/// One named series of (x, y) points.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Renders one or more line series on a shared axis. Each series gets a
+/// distinct glyph; a legend line is appended.
+std::string render_lines(const std::vector<Series>& series,
+                         const ChartOptions& options);
+
+/// Renders a scatter plot (density shown by character ramp . : * # @).
+std::string render_scatter(const Series& points, const ChartOptions& options);
+
+/// Renders a labeled horizontal bar chart, e.g. for Table I summaries.
+struct Bar {
+  std::string label;
+  double value = 0.0;
+};
+std::string render_bars(const std::vector<Bar>& bars, int width = 60,
+                        const std::string& unit = "");
+
+}  // namespace conscale

@@ -1,0 +1,114 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <stdexcept>
+
+namespace conscale {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return "";
+  auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    // Accept both key=value and --key=value.
+    if (token.rfind("--", 0) == 0) token = token.substr(2);
+    auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      config.positional_.push_back(token);
+    } else {
+      config.set(trim(token.substr(0, eq)), trim(token.substr(eq + 1)));
+    }
+  }
+  return config;
+}
+
+Config Config::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Config: cannot open " + path);
+  Config config;
+  std::string line;
+  while (std::getline(in, line)) {
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("Config: malformed line: " + line);
+    }
+    config.set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+  }
+  return config;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::contains(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::runtime_error("Config: key '" + key + "' is not a number: " +
+                             it->second);
+  }
+}
+
+long Config::get_int(const std::string& key, long fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stol(it->second);
+  } catch (const std::exception&) {
+    throw std::runtime_error("Config: key '" + key + "' is not an integer: " +
+                             it->second);
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string v = lower(trim(it->second));
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::runtime_error("Config: key '" + key + "' is not a bool: " +
+                           it->second);
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [k, v] : other.values_) values_[k] = v;
+  positional_.insert(positional_.end(), other.positional_.begin(),
+                     other.positional_.end());
+}
+
+}  // namespace conscale

@@ -1,0 +1,45 @@
+// Key/value configuration used by examples and benches: parses
+// "key=value" pairs from argv and simple INI-ish files, with typed getters
+// and defaults so every experiment knob is overridable from the command line.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace conscale {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key=value" tokens; tokens without '=' are collected as
+  /// positional arguments.
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Parses a file of `key = value` lines; '#' starts a comment. Throws
+  /// std::runtime_error if the file cannot be read.
+  static Config from_file(const std::string& path);
+
+  void set(const std::string& key, const std::string& value);
+  bool contains(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback = "") const;
+  double get_double(const std::string& key, double fallback) const;
+  long get_int(const std::string& key, long fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::map<std::string, std::string>& entries() const { return values_; }
+
+  /// Merge: entries in `other` override entries here.
+  void merge(const Config& other);
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace conscale

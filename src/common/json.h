@@ -1,0 +1,62 @@
+// Minimal JSON writer (no parsing): enough to export experiment results for
+// external analysis pipelines without pulling in a dependency. Streaming,
+// RFC 8259-conformant escaping, deterministic field order (caller-driven).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace conscale {
+
+/// Builds one JSON document into a stream. Usage:
+///   JsonWriter json(out);
+///   json.begin_object();
+///   json.key("name").value("run1");
+///   json.key("points").begin_array();
+///   json.value(1.5); json.value(2.5);
+///   json.end_array();
+///   json.end_object();
+/// Commas and nesting are managed automatically; mismatched begin/end or a
+/// bare key without a value throws std::logic_error at the offending call.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; must be directly inside an object and must be
+  /// followed by exactly one value (or container).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// True when the document is complete (all containers closed, at least
+  /// one value written).
+  bool complete() const { return done_; }
+
+  static std::string escape(std::string_view text);
+
+ private:
+  enum class Frame { kObject, kArray };
+  void before_value();
+
+  std::ostream& out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_in_frame_;
+  bool pending_key_ = false;
+  bool done_ = false;
+};
+
+}  // namespace conscale

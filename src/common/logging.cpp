@@ -1,0 +1,64 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace conscale {
+
+namespace {
+std::mutex g_sink_mutex;
+}
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view message) {
+    std::fprintf(stderr, "[%.*s] %.*s\n",
+                 static_cast<int>(to_string(level).size()),
+                 to_string(level).data(), static_cast<int>(message.size()),
+                 message.data());
+  };
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, std::string_view message) {
+      std::fprintf(stderr, "[%.*s] %.*s\n",
+                   static_cast<int>(to_string(level).size()),
+                   to_string(level).data(), static_cast<int>(message.size()),
+                   message.data());
+    };
+  }
+}
+
+void Logger::log(LogLevel level, std::string_view message) {
+  if (!enabled(level)) return;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  sink_(level, message);
+}
+
+}  // namespace conscale

@@ -1,0 +1,77 @@
+// Minimal leveled logger for the simulator and the experiment harnesses.
+//
+// Design notes:
+//  * The simulator is single-threaded (DESIGN.md §6.4), so no locking is
+//    needed on the hot path; a mutex still guards sink swaps so examples can
+//    redirect output safely.
+//  * Messages are formatted only when the level is enabled; guard macros keep
+//    the disabled-path cost to one branch.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace conscale {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+std::string_view to_string(LogLevel level);
+
+/// Process-wide logger configuration.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Replace the output sink (default: stderr). Passing nullptr restores
+  /// the default sink.
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+namespace detail {
+/// Stream-style one-shot message builder used by the LOG macros.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::instance().log(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace conscale
+
+#define CS_LOG(level)                                  \
+  if (!::conscale::Logger::instance().enabled(level)) { \
+  } else                                               \
+    ::conscale::detail::LogMessage(level)
+
+#define CS_LOG_TRACE CS_LOG(::conscale::LogLevel::kTrace)
+#define CS_LOG_DEBUG CS_LOG(::conscale::LogLevel::kDebug)
+#define CS_LOG_INFO CS_LOG(::conscale::LogLevel::kInfo)
+#define CS_LOG_WARN CS_LOG(::conscale::LogLevel::kWarn)
+#define CS_LOG_ERROR CS_LOG(::conscale::LogLevel::kError)

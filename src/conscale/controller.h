@@ -1,0 +1,59 @@
+// DecisionController (Fig 8): the control loop. Every second it reads each
+// tier's CPU utilization from the Metrics Warehouse, runs the shared
+// threshold rule, and orders the hardware agent to scale out/in. Whenever a
+// hardware action completes (the new VM is Running, or a drain has started),
+// it asks the soft-resource policy to adapt — which is where
+// EC2-AutoScaling, DCM, and ConScale diverge.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/ntier_system.h"
+#include "conscale/agents.h"
+#include "conscale/policy.h"
+#include "conscale/threshold_rule.h"
+#include "metrics/warehouse.h"
+#include "simcore/simulation.h"
+
+namespace conscale {
+
+struct ControllerConfig {
+  ThresholdRuleParams rule;
+  SimDuration tick = 1.0;  ///< decision period (Fig 8: 1 s metrics)
+  /// Also re-run the policy's adaptation on a slow periodic cadence, so a
+  /// drifting environment is caught even without hardware scaling events.
+  /// 0 disables (the paper's base behaviour: adapt at scaling time only).
+  SimDuration periodic_adapt = 0.0;
+};
+
+class DecisionController {
+ public:
+  DecisionController(Simulation& sim, NTierSystem& system,
+                     const MetricsWarehouse& warehouse, HardwareAgent& hw,
+                     SoftwareAgent& sw, SoftResourcePolicy& policy,
+                     ControllerConfig config);
+
+  std::uint64_t scale_out_count() const { return scale_outs_; }
+  std::uint64_t scale_in_count() const { return scale_ins_; }
+  std::uint64_t adapt_count() const { return adapts_; }
+
+ private:
+  void tick(SimTime now);
+
+  Simulation& sim_;
+  NTierSystem& system_;
+  const MetricsWarehouse& warehouse_;
+  HardwareAgent& hw_;
+  SoftwareAgent& sw_;
+  SoftResourcePolicy& policy_;
+  ControllerConfig config_;
+  std::vector<ThresholdRule> rules_;  ///< one per tier
+  std::unique_ptr<PeriodicTask> tick_task_;
+  std::unique_ptr<PeriodicTask> adapt_task_;
+  std::uint64_t scale_outs_ = 0;
+  std::uint64_t scale_ins_ = 0;
+  std::uint64_t adapts_ = 0;
+};
+
+}  // namespace conscale

@@ -1,0 +1,56 @@
+#include "conscale/framework.h"
+
+#include <algorithm>
+
+namespace conscale {
+
+std::string to_string(FrameworkKind kind) {
+  switch (kind) {
+    case FrameworkKind::kEc2AutoScaling:
+      return "EC2-AutoScaling";
+    case FrameworkKind::kDcm:
+      return "DCM";
+    case FrameworkKind::kConScale:
+      return "ConScale";
+  }
+  return "?";
+}
+
+ScalingFramework::ScalingFramework(Simulation& sim, NTierSystem& system,
+                                   MetricsWarehouse& warehouse,
+                                   FrameworkKind kind, FrameworkConfig config)
+    : kind_(kind), name_(to_string(kind)) {
+  hw_ = std::make_unique<HardwareAgent>(sim, system);
+  sw_ = std::make_unique<SoftwareAgent>(sim, system);
+  switch (kind_) {
+    case FrameworkKind::kEc2AutoScaling:
+      policy_ = std::make_unique<Ec2AutoScalingPolicy>();
+      break;
+    case FrameworkKind::kDcm:
+      policy_ = std::make_unique<DcmPolicy>(system, *sw_, config.targets,
+                                            config.dcm_profile);
+      break;
+    case FrameworkKind::kConScale:
+      estimator_ = std::make_unique<ConcurrencyEstimatorService>(
+          sim, system, warehouse, config.estimator);
+      policy_ = std::make_unique<ConScalePolicy>(system, *sw_, config.targets,
+                                                 *estimator_,
+                                                 config.conscale_headroom);
+      break;
+  }
+  controller_ = std::make_unique<DecisionController>(
+      sim, system, warehouse, *hw_, *sw_, *policy_, config.controller);
+}
+
+std::vector<ScalingEvent> ScalingFramework::all_events() const {
+  std::vector<ScalingEvent> events = hw_->events();
+  const auto& soft = sw_->events();
+  events.insert(events.end(), soft.begin(), soft.end());
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ScalingEvent& a, const ScalingEvent& b) {
+                     return a.t < b.t;
+                   });
+  return events;
+}
+
+}  // namespace conscale

@@ -1,0 +1,58 @@
+// ScalingFramework: convenience bundle that assembles one of the three
+// evaluated scaling frameworks — EC2-AutoScaling, DCM, or ConScale — from
+// the building blocks (agents, estimator service, policy, controller).
+// Experiments construct one of these per run.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cluster/ntier_system.h"
+#include "conscale/agents.h"
+#include "conscale/controller.h"
+#include "conscale/estimator_service.h"
+#include "conscale/policy.h"
+#include "metrics/warehouse.h"
+
+namespace conscale {
+
+enum class FrameworkKind { kEc2AutoScaling, kDcm, kConScale };
+
+std::string to_string(FrameworkKind kind);
+
+struct FrameworkConfig {
+  ControllerConfig controller;
+  EstimatorServiceParams estimator;  ///< used by ConScale only
+  SoftAdaptTargets targets;          ///< used by DCM and ConScale
+  DcmProfile dcm_profile;            ///< used by DCM only
+  double conscale_headroom = 1.4;    ///< see ConScalePolicy
+};
+
+class ScalingFramework {
+ public:
+  ScalingFramework(Simulation& sim, NTierSystem& system,
+                   MetricsWarehouse& warehouse, FrameworkKind kind,
+                   FrameworkConfig config);
+
+  FrameworkKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+  HardwareAgent& hardware_agent() { return *hw_; }
+  SoftwareAgent& software_agent() { return *sw_; }
+  DecisionController& controller() { return *controller_; }
+  /// Null unless kind == kConScale.
+  ConcurrencyEstimatorService* estimator_service() { return estimator_.get(); }
+
+  /// Hardware + soft actuation events merged and time-sorted.
+  std::vector<ScalingEvent> all_events() const;
+
+ private:
+  FrameworkKind kind_;
+  std::string name_;
+  std::unique_ptr<HardwareAgent> hw_;
+  std::unique_ptr<SoftwareAgent> sw_;
+  std::unique_ptr<ConcurrencyEstimatorService> estimator_;
+  std::unique_ptr<SoftResourcePolicy> policy_;
+  std::unique_ptr<DecisionController> controller_;
+};
+
+}  // namespace conscale

@@ -1,0 +1,50 @@
+#include "conscale/threshold_rule.h"
+
+namespace conscale {
+
+std::string to_string(ScalingDirection direction) {
+  switch (direction) {
+    case ScalingDirection::kNone:
+      return "none";
+    case ScalingDirection::kOut:
+      return "scale-out";
+    case ScalingDirection::kIn:
+      return "scale-in";
+  }
+  return "?";
+}
+
+ScalingDirection ThresholdRule::evaluate(SimTime now, double cpu_utilization,
+                                         bool blocked) {
+  if (blocked || now < cooldown_until_) {
+    // Keep counters from accumulating stale pressure during blackouts.
+    hot_ticks_ = 0;
+    cold_ticks_ = 0;
+    return ScalingDirection::kNone;
+  }
+  if (cpu_utilization >= params_.scale_out_threshold) {
+    ++hot_ticks_;
+    cold_ticks_ = 0;
+    if (hot_ticks_ >= params_.out_sustain_ticks) {
+      return ScalingDirection::kOut;
+    }
+  } else if (cpu_utilization <= params_.scale_in_threshold) {
+    ++cold_ticks_;
+    hot_ticks_ = 0;
+    if (cold_ticks_ >= params_.in_sustain_ticks) {
+      return ScalingDirection::kIn;
+    }
+  } else {
+    hot_ticks_ = 0;
+    cold_ticks_ = 0;
+  }
+  return ScalingDirection::kNone;
+}
+
+void ThresholdRule::on_action(SimTime now) {
+  hot_ticks_ = 0;
+  cold_ticks_ = 0;
+  cooldown_until_ = now + params_.cooldown;
+}
+
+}  // namespace conscale

@@ -1,0 +1,140 @@
+#include "experiments/analytic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace conscale {
+
+namespace {
+
+/// Mix-weighted mean of a per-tier demand field.
+template <typename Getter>
+double weighted_demand(const RequestMix& mix, Getter getter) {
+  double total_weight = 0.0;
+  double total = 0.0;
+  for (const auto& c : mix.classes()) {
+    total_weight += c.weight;
+    total += c.weight * getter(c);
+  }
+  return total_weight > 0.0 ? total / total_weight : 0.0;
+}
+
+}  // namespace
+
+std::vector<MvaStation> stations_for_tier_profile(const ScenarioParams& params,
+                                                  std::size_t target_tier,
+                                                  std::size_t helper_app_vms,
+                                                  std::size_t helper_db_vms) {
+  const RequestMix mix = params.make_mix();
+  // Per-request demands, aggregated over the mix. DB demands are per query;
+  // a request makes `calls` of them sequentially.
+  const double web_cpu = weighted_demand(
+      mix, [](const RequestClass& c) { return c.tiers[0].total_cpu(); });
+  const double web_delay = weighted_demand(
+      mix, [](const RequestClass& c) { return c.tiers[0].pure_delay; });
+  const double app_cpu = weighted_demand(
+      mix, [](const RequestClass& c) { return c.tiers[1].total_cpu(); });
+  const double app_delay = weighted_demand(
+      mix, [](const RequestClass& c) { return c.tiers[1].pure_delay; });
+  const double calls = weighted_demand(
+      mix, [](const RequestClass& c) {
+        return static_cast<double>(c.tiers[1].downstream_calls);
+      });
+  const double db_cpu = weighted_demand(
+      mix, [calls](const RequestClass& c) {
+        (void)calls;
+        return c.tiers[2].total_cpu();
+      });
+  const double db_delay = weighted_demand(
+      mix, [](const RequestClass& c) { return c.tiers[2].pure_delay; });
+  const double db_disk = weighted_demand(
+      mix, [](const RequestClass& c) { return c.tiers[2].disk; });
+
+  const std::size_t app_vms = target_tier == kAppTier ? 1 : helper_app_vms;
+  const std::size_t db_vms = target_tier == kDbTier ? 1 : helper_db_vms;
+
+  std::vector<MvaStation> stations;
+  {
+    MvaStation s;
+    s.name = "web.cpu";
+    s.demand = web_cpu;
+    s.servers = params.web_cores;
+    stations.push_back(s);
+  }
+  {
+    MvaStation s;
+    s.name = "web.net";
+    s.kind = MvaStation::Kind::kDelay;
+    s.demand = web_delay;
+    stations.push_back(s);
+  }
+  {
+    MvaStation s;
+    s.name = "app.cpu";
+    s.demand = app_cpu;
+    s.servers = params.app_cores * static_cast<int>(app_vms);
+    if (target_tier == kAppTier) s.contention = params.app_contention;
+    stations.push_back(s);
+  }
+  {
+    MvaStation s;
+    s.name = "app.net";
+    s.kind = MvaStation::Kind::kDelay;
+    s.demand = app_delay;
+    stations.push_back(s);
+  }
+  {
+    MvaStation s;
+    s.name = "db.cpu";
+    s.demand = calls * db_cpu;
+    s.servers = params.db_cores * static_cast<int>(db_vms);
+    if (target_tier == kDbTier) s.contention = params.db_contention;
+    stations.push_back(s);
+  }
+  {
+    MvaStation s;
+    s.name = "db.net";
+    s.kind = MvaStation::Kind::kDelay;
+    s.demand = calls * db_delay;
+    stations.push_back(s);
+  }
+  if (db_disk > 0.0) {
+    MvaStation s;
+    s.name = "db.disk";
+    s.demand = calls * db_disk;
+    s.servers = static_cast<int>(db_vms);  // one channel per DB VM
+    stations.push_back(s);
+  }
+  return stations;
+}
+
+DcmProfile train_dcm_profile_analytical(const ScenarioParams& params,
+                                        int n_max, double tolerance) {
+  DcmProfile profile;
+  for (std::size_t tier : {kAppTier, kDbTier}) {
+    const auto stations = stations_for_tier_profile(params, tier);
+    const AnalyticalRange range =
+        analytical_range(stations, n_max, tolerance);
+    // The soft resource caps the target *server's* concurrency, not the
+    // system population: convert the knee population into the target tier's
+    // local mean population. Thread-per-request semantics make a request at
+    // the DB still occupy its app-server thread, so the app tier's local
+    // population includes everything at or below it in the chain.
+    const MvaPoint knee = solve_mva_at(stations, std::max(range.q_lower, 1));
+    double local = 0.0;
+    for (std::size_t i = 0; i < stations.size(); ++i) {
+      const std::string& name = stations[i].name;
+      const bool db_side = name.rfind("db.", 0) == 0;
+      const bool app_side = name.rfind("app.", 0) == 0;
+      if (tier == kDbTier && db_side) local += knee.queue_lengths[i];
+      if (tier == kAppTier && (db_side || app_side)) {
+        local += knee.queue_lengths[i];
+      }
+    }
+    profile.tier_optimal_concurrency[tier] =
+        std::max(static_cast<int>(std::lround(local)), 1);
+  }
+  return profile;
+}
+
+}  // namespace conscale

@@ -1,0 +1,33 @@
+// Bridge between the scenario parameters and the analytical MVA model: an
+// *analytical* offline trainer for DCM, matching how the original DCM work
+// derives optimal concurrency from a queueing-network model rather than
+// from measurement. Lets the benches compare three ways of obtaining the
+// optimum: analytical prediction, offline simulation profiling, and the
+// online SCT estimate.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/mva.h"
+#include "conscale/policy.h"
+#include "experiments/scenario.h"
+
+namespace conscale {
+
+/// Builds the closed-network view of the zero-think profiling topology used
+/// to characterize `target_tier` (the target tier gets one VM and carries
+/// its contention model; helper tiers are widened so they stay uncongested,
+/// mirroring run_concurrency_sweep / collect_scatter).
+std::vector<MvaStation> stations_for_tier_profile(const ScenarioParams& params,
+                                                  std::size_t target_tier,
+                                                  std::size_t helper_app_vms = 4,
+                                                  std::size_t helper_db_vms = 4);
+
+/// Per-tier optimal concurrency from the analytical model (MVA knee), the
+/// queueing-network counterpart of train_dcm_profile's measured optimum.
+DcmProfile train_dcm_profile_analytical(const ScenarioParams& params,
+                                        int n_max = 250,
+                                        double tolerance = 0.05);
+
+}  // namespace conscale

@@ -1,0 +1,119 @@
+#include "experiments/json_export.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/json.h"
+
+namespace conscale {
+
+void export_run_json(std::ostream& out, const ScalingRunResult& result) {
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("framework").value(result.framework_name);
+  json.key("trace").value(result.trace_name);
+
+  json.key("summary").begin_object();
+  json.key("mean_rt_ms").value(result.mean_rt_ms);
+  json.key("p50_ms").value(result.p50_ms);
+  json.key("p95_ms").value(result.p95_ms);
+  json.key("p99_ms").value(result.p99_ms);
+  json.key("max_rt_ms").value(result.max_rt_ms);
+  json.key("sla_500ms").value(result.sla_500ms);
+  json.key("requests_issued").value(result.requests_issued);
+  json.key("requests_completed").value(result.requests_completed);
+  json.end_object();
+
+  json.key("system_series").begin_array();
+  for (const auto& s : result.system) {
+    json.begin_object();
+    json.key("t").value(s.t);
+    json.key("throughput_rps").value(s.throughput);
+    json.key("mean_rt_ms").value(s.mean_rt * 1e3);
+    json.key("max_rt_ms").value(s.max_rt * 1e3);
+    json.key("total_vms").value(static_cast<std::uint64_t>(s.total_vms));
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("tiers").begin_object();
+  for (const auto& [tier, series] : result.tiers) {
+    json.key(tier).begin_array();
+    for (const auto& s : series) {
+      json.begin_object();
+      json.key("t").value(s.t);
+      json.key("cpu").value(s.avg_cpu_utilization);
+      json.key("billed_vms").value(static_cast<std::uint64_t>(s.billed_vms));
+      json.key("running_vms").value(
+          static_cast<std::uint64_t>(s.running_vms));
+      json.end_object();
+    }
+    json.end_array();
+  }
+  json.end_object();
+
+  json.key("events").begin_array();
+  for (const auto& e : result.events) {
+    json.begin_object();
+    json.key("t").value(e.t);
+    json.key("tier").value(e.tier);
+    json.key("action").value(e.action);
+    json.key("value").value(e.value);
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("sct_history").begin_array();
+  for (const auto& h : result.sct_history) {
+    json.begin_object();
+    json.key("t").value(h.t);
+    json.key("tier").value(h.tier);
+    json.key("q_lower").value(h.range.q_lower);
+    json.key("q_upper").value(h.range.q_upper);
+    json.key("tp_max").value(h.range.tp_max);
+    json.key("descending_observed").value(h.range.descending_observed);
+    json.key("q_upper_censored").value(h.range.q_upper_censored);
+    json.end_object();
+  }
+  json.end_array();
+
+  json.end_object();
+}
+
+void export_run_json(const std::string& path,
+                     const ScalingRunResult& result) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("export_run_json: cannot open " + path);
+  export_run_json(out, result);
+  out << '\n';
+}
+
+void export_scatter_json(std::ostream& out, const ScatterRunResult& result) {
+  JsonWriter json(out);
+  json.begin_object();
+  if (result.range) {
+    json.key("estimate").begin_object();
+    json.key("q_lower").value(result.range->q_lower);
+    json.key("q_upper").value(result.range->q_upper);
+    json.key("optimal").value(result.range->optimal);
+    json.key("tp_max").value(result.range->tp_max);
+    json.key("descending_observed").value(result.range->descending_observed);
+    json.end_object();
+  } else {
+    json.key("estimate").null();
+  }
+  json.key("samples").begin_array();
+  for (const auto& s : result.raw_samples) {
+    json.begin_object();
+    json.key("t").value(s.t_end);
+    json.key("q").value(s.concurrency);
+    json.key("tp").value(s.throughput);
+    json.key("rt_ms").value(s.mean_rt * 1e3);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace conscale

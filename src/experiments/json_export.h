@@ -1,0 +1,22 @@
+// JSON export of experiment results: the machine-readable counterpart of the
+// terminal reports, for downstream analysis pipelines (pandas, jq, ...).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "experiments/runner.h"
+
+namespace conscale {
+
+/// Writes the full run — summary percentiles, 1 s system/tier series, and
+/// the scaling-event log — as one JSON object.
+void export_run_json(std::ostream& out, const ScalingRunResult& result);
+
+/// Convenience: write to a file; throws std::runtime_error on I/O failure.
+void export_run_json(const std::string& path, const ScalingRunResult& result);
+
+/// Writes a scatter run (raw 50 ms samples + the SCT estimate) as JSON.
+void export_scatter_json(std::ostream& out, const ScatterRunResult& result);
+
+}  // namespace conscale

@@ -1,0 +1,72 @@
+#include "experiments/scenario.h"
+
+namespace conscale {
+
+SystemConfig ScenarioParams::system_config() const {
+  SystemConfig config;
+
+  TierConfig web;
+  web.name = "Apache";
+  web.server_template.cores = web_cores;
+  web.server_template.contention = web_contention;
+  web.server_template.thread_pool_size = web_threads;
+  web.server_template.downstream_pool_size = 0;  // ungated into the app tier
+  web.server_template.seed = seed ^ 0x11;
+  web.vm_prep_delay = vm_prep_delay;
+  web.lb_policy = lb_policy;
+  web.min_vms = web_min;
+  web.max_vms = web_max;
+
+  TierConfig app;
+  app.name = "Tomcat";
+  app.server_template.cores = app_cores;
+  app.server_template.contention = app_contention;
+  app.server_template.thread_pool_size = app_threads;
+  app.server_template.downstream_pool_size = app_dbconn;
+  app.server_template.seed = seed ^ 0x22;
+  app.vm_prep_delay = vm_prep_delay;
+  app.lb_policy = lb_policy;
+  app.min_vms = app_min;
+  app.max_vms = app_max;
+
+  TierConfig db;
+  db.name = "MySQL";
+  db.server_template.cores = db_cores;
+  db.server_template.contention = db_contention;
+  db.server_template.thread_pool_size = db_threads;
+  db.server_template.downstream_pool_size = 0;
+  db.server_template.disk_channels = 1;
+  db.server_template.seed = seed ^ 0x33;
+  db.vm_prep_delay = vm_prep_delay;
+  db.lb_policy = lb_policy;
+  db.min_vms = db_min;
+  db.max_vms = db_max;
+
+  config.tiers = {web, app, db};
+  config.initial_vms = {web_init, app_init, db_init};
+  return config;
+}
+
+RequestMix ScenarioParams::make_mix() const {
+  MixParams p = mix;
+  p.work_scale = work_scale;
+  // dataset_scale is carried inside MixParams; callers adjust mix.dataset_scale.
+  switch (mode) {
+    case WorkloadMode::kBrowseOnly:
+      return make_browse_only_mix(p);
+    case WorkloadMode::kReadWriteMix:
+      return make_read_write_mix(p);
+  }
+  return make_browse_only_mix(p);
+}
+
+ScenarioParams ScenarioParams::paper_default() { return ScenarioParams{}; }
+
+ScenarioParams ScenarioParams::test_scale() {
+  ScenarioParams params;
+  params.work_scale = 8.0;
+  params.max_users = 7500.0;
+  return params;
+}
+
+}  // namespace conscale

@@ -1,0 +1,62 @@
+// Fine-grained interval metrics (§III-B): per 50 ms window we record a
+// server's throughput (completions in the window), mean response time of
+// those completions, and concurrency (time-average number of requests being
+// processed). These {Q, TP, RT} tuples are the raw material of the SCT model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/stats.h"
+#include "simcore/simulation.h"
+#include "tier/server.h"
+
+namespace conscale {
+
+struct IntervalSample {
+  SimTime t_end = 0.0;       ///< end of the measurement interval
+  double concurrency = 0.0;  ///< time-averaged #requests in processing
+  double throughput = 0.0;   ///< completions per second over the interval
+  double mean_rt = 0.0;      ///< mean response time of completions [s]
+  std::uint64_t completions = 0;
+};
+
+/// Builds IntervalSamples from a server's admission/departure hooks.
+/// Attach once; read via the callback given to start().
+class IntervalAggregator {
+ public:
+  using SampleCallback = std::function<void(const IntervalSample&)>;
+
+  /// Attaches to `server` immediately; emits a sample every `period` once
+  /// start() is called.
+  IntervalAggregator(Simulation& sim, Server& server, SimDuration period);
+
+  void start(SampleCallback on_sample);
+  void stop();
+
+  SimDuration period() const { return period_; }
+
+ private:
+  void on_admitted(SimTime now);
+  void on_departed(SimTime now, double rt);
+  void advance_integral(SimTime now);
+  void emit(SimTime now);
+
+  Simulation& sim_;
+  SimDuration period_;
+  SampleCallback on_sample_;
+  std::unique_ptr<PeriodicTask> tick_;
+
+  // Concurrency integration state.
+  std::size_t current_ = 0;
+  SimTime last_change_ = 0.0;
+  double integral_ = 0.0;
+  SimTime window_start_ = 0.0;
+
+  // Completion accumulation for the current window.
+  std::uint64_t completions_ = 0;
+  double rt_sum_ = 0.0;
+};
+
+}  // namespace conscale

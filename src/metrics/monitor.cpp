@@ -1,0 +1,57 @@
+#include "metrics/monitor.h"
+
+#include <algorithm>
+
+namespace conscale {
+
+MonitoringAgent::MonitoringAgent(Simulation& sim, NTierSystem& system,
+                                 MetricsWarehouse& warehouse, Params params)
+    : sim_(sim), system_(system), warehouse_(warehouse), params_(params) {
+  system_.add_vm_ready_callback(
+      [this](std::size_t, Vm& vm) { attach(vm); });
+  coarse_task_ = std::make_unique<PeriodicTask>(
+      sim_, params_.coarse_period, [this](SimTime now) { coarse_tick(now); });
+}
+
+void MonitoringAgent::attach(Vm& vm) {
+  auto aggregator = std::make_unique<IntervalAggregator>(
+      sim_, vm.server(), params_.fine_period);
+  const std::string name = vm.name();
+  aggregator->start([this, name](const IntervalSample& sample) {
+    warehouse_.record_server(name, sample);
+  });
+  aggregators_.push_back(std::move(aggregator));
+}
+
+void MonitoringAgent::on_client_completion(SimTime, double rt) {
+  ++window_completions_;
+  window_rt_sum_ += rt;
+  window_rt_max_ = std::max(window_rt_max_, rt);
+}
+
+void MonitoringAgent::coarse_tick(SimTime now) {
+  for (std::size_t i = 0; i < system_.tier_count(); ++i) {
+    TierGroup& tier = system_.tier(i);
+    TierSample sample;
+    sample.t = now;
+    sample.avg_cpu_utilization = tier.poll_avg_cpu_utilization();
+    sample.billed_vms = static_cast<std::uint32_t>(tier.billed_vms());
+    sample.running_vms = static_cast<std::uint32_t>(tier.running_vms());
+    warehouse_.record_tier(tier.name(), sample);
+  }
+  SystemSample sys;
+  sys.t = now;
+  sys.throughput = static_cast<double>(window_completions_) /
+                   params_.coarse_period;
+  sys.mean_rt = window_completions_
+                    ? window_rt_sum_ / static_cast<double>(window_completions_)
+                    : 0.0;
+  sys.max_rt = window_rt_max_;
+  sys.total_vms = static_cast<std::uint32_t>(system_.total_billed_vms());
+  warehouse_.record_system(sys);
+  window_completions_ = 0;
+  window_rt_sum_ = 0.0;
+  window_rt_max_ = 0.0;
+}
+
+}  // namespace conscale

@@ -1,0 +1,54 @@
+// MonitoringAgent: the per-VM monitoring agents + 1 s pollers of Fig 8
+// (step 1). It attaches a 50 ms IntervalAggregator to every server (present
+// and future — scale-out VMs are picked up through the vm-ready callback),
+// polls tier-level CPU utilization and VM counts every second, and folds
+// client-side completions into per-second system samples. Everything lands
+// in the MetricsWarehouse.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/ntier_system.h"
+#include "metrics/interval.h"
+#include "metrics/warehouse.h"
+#include "simcore/simulation.h"
+
+namespace conscale {
+
+/// Defaults: §III-B's 50 ms fine interval; Fig 8's 1 s agent reports.
+struct MonitoringParams {
+  SimDuration fine_period = 0.050;
+  SimDuration coarse_period = 1.0;
+};
+
+class MonitoringAgent {
+ public:
+  using Params = MonitoringParams;
+
+  MonitoringAgent(Simulation& sim, NTierSystem& system,
+                  MetricsWarehouse& warehouse, Params params = {});
+
+  /// Wire this to the client population's completion hook.
+  void on_client_completion(SimTime issued, double rt);
+
+  const Params& params() const { return params_; }
+
+ private:
+  void attach(Vm& vm);
+  void coarse_tick(SimTime now);
+
+  Simulation& sim_;
+  NTierSystem& system_;
+  MetricsWarehouse& warehouse_;
+  Params params_;
+  std::vector<std::unique_ptr<IntervalAggregator>> aggregators_;
+  std::unique_ptr<PeriodicTask> coarse_task_;
+
+  // Per-second client completion accumulation.
+  std::uint64_t window_completions_ = 0;
+  double window_rt_sum_ = 0.0;
+  double window_rt_max_ = 0.0;
+};
+
+}  // namespace conscale

@@ -1,0 +1,71 @@
+#include "metrics/warehouse.h"
+
+#include <algorithm>
+
+namespace conscale {
+
+namespace {
+const std::vector<IntervalSample> kEmptyIntervalSeries;
+const std::vector<TierSample> kEmptyTierSeries;
+}  // namespace
+
+void MetricsWarehouse::record_server(const std::string& server,
+                                     const IntervalSample& sample) {
+  servers_[server].push_back(sample);
+}
+
+void MetricsWarehouse::record_tier(const std::string& tier,
+                                   const TierSample& sample) {
+  tiers_[tier].push_back(sample);
+}
+
+void MetricsWarehouse::record_system(const SystemSample& sample) {
+  system_.push_back(sample);
+}
+
+const std::vector<IntervalSample>& MetricsWarehouse::server_series(
+    const std::string& server) const {
+  auto it = servers_.find(server);
+  return it == servers_.end() ? kEmptyIntervalSeries : it->second;
+}
+
+const std::vector<TierSample>& MetricsWarehouse::tier_series(
+    const std::string& tier) const {
+  auto it = tiers_.find(tier);
+  return it == tiers_.end() ? kEmptyTierSeries : it->second;
+}
+
+std::vector<std::string> MetricsWarehouse::server_names() const {
+  std::vector<std::string> names;
+  names.reserve(servers_.size());
+  for (const auto& [name, series] : servers_) names.push_back(name);
+  return names;
+}
+
+std::vector<IntervalSample> MetricsWarehouse::server_window(
+    const std::string& server, SimDuration window, SimTime now) const {
+  const auto& series = server_series(server);
+  const SimTime cutoff = now - window;
+  // Series are appended in time order; binary-search the window start.
+  auto first = std::lower_bound(
+      series.begin(), series.end(), cutoff,
+      [](const IntervalSample& s, SimTime t) { return s.t_end <= t; });
+  std::vector<IntervalSample> out;
+  for (auto it = first; it != series.end() && it->t_end <= now; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+TierSample MetricsWarehouse::latest_tier(const std::string& tier) const {
+  const auto& series = tier_series(tier);
+  return series.empty() ? TierSample{} : series.back();
+}
+
+void MetricsWarehouse::clear() {
+  servers_.clear();
+  tiers_.clear();
+  system_.clear();
+}
+
+}  // namespace conscale

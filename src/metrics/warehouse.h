@@ -1,0 +1,67 @@
+// MetricsWarehouse: the framework's central metric store (Fig 8, step 1-2).
+// Monitoring agents in each VM push application-level samples (50 ms
+// {Q, TP, RT} tuples) and system-level samples (1 s CPU utilization, VM
+// counts); the Decision Controller and the Optimal Concurrency Estimator
+// pull from here. In the real system this is a TSDB; here an in-memory,
+// append-only store with windowed queries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/time_units.h"
+#include "metrics/interval.h"
+
+namespace conscale {
+
+/// 1 s system-level sample for one tier.
+struct TierSample {
+  SimTime t = 0.0;
+  double avg_cpu_utilization = 0.0;  ///< [0,1] across running VMs
+  std::uint32_t billed_vms = 0;
+  std::uint32_t running_vms = 0;
+};
+
+/// 1 s end-to-end sample (client-perceived).
+struct SystemSample {
+  SimTime t = 0.0;
+  double throughput = 0.0;  ///< completed requests per second
+  double mean_rt = 0.0;     ///< mean RT of completions in the second [s]
+  double max_rt = 0.0;      ///< worst completion in the second [s]
+  std::uint32_t total_vms = 0;
+};
+
+class MetricsWarehouse {
+ public:
+  // ---- ingestion ----
+  void record_server(const std::string& server, const IntervalSample& sample);
+  void record_tier(const std::string& tier, const TierSample& sample);
+  void record_system(const SystemSample& sample);
+
+  // ---- full-series access (figure rendering) ----
+  const std::vector<IntervalSample>& server_series(
+      const std::string& server) const;
+  const std::vector<TierSample>& tier_series(const std::string& tier) const;
+  const std::vector<SystemSample>& system_series() const { return system_; }
+  std::vector<std::string> server_names() const;
+
+  // ---- windowed queries (estimator / controller) ----
+  /// Server samples with t_end in (now - window, now].
+  std::vector<IntervalSample> server_window(const std::string& server,
+                                            SimDuration window,
+                                            SimTime now) const;
+  /// Latest tier sample, or a default-constructed one if none.
+  TierSample latest_tier(const std::string& tier) const;
+
+  void clear();
+
+ private:
+  std::map<std::string, std::vector<IntervalSample>> servers_;
+  std::map<std::string, std::vector<TierSample>> tiers_;
+  std::vector<SystemSample> system_;
+};
+
+}  // namespace conscale

@@ -1,0 +1,40 @@
+// ContentionModel: the multithreading-overhead curve that produces the
+// *descending stage* of the paper's Scatter-Concurrency-Throughput relation
+// (§III-A). The paper attributes the descent to lock contention, context
+// switching, cache-coherence crosstalk, and GC under high concurrency; we do
+// not simulate those mechanisms individually but expose their aggregate
+// effect as an efficiency multiplier on the server's CPU capacity:
+//
+//   efficiency(n) = 1 / (1 + alpha * max(0, n - onset)^power)
+//
+// With alpha = 0 the server is an ideal PS station (pure utilization-law
+// behaviour: ascending then flat). With alpha > 0 throughput peaks inside
+// [Q_lower, Q_upper] and then decays — exactly the three-stage shape the SCT
+// model must discover from noisy samples.
+#pragma once
+
+#include <cmath>
+
+namespace conscale {
+
+struct ContentionModel {
+  /// Concurrency at which overhead starts to bite. Scaled with core count by
+  /// the server model (onset is per-server, not per-core, but vertical
+  /// scaling both raises capacity and delays contention).
+  double onset = 25.0;
+  /// Strength of the decay per job beyond the onset.
+  double alpha = 0.01;
+  /// Shape exponent; 1 = linear growth of overhead.
+  double power = 1.0;
+
+  /// Capacity multiplier in (0, 1] for `n` concurrently active jobs.
+  double efficiency(double n) const {
+    if (alpha <= 0.0 || n <= onset) return 1.0;
+    return 1.0 / (1.0 + alpha * std::pow(n - onset, power));
+  }
+
+  /// An ideal station with no multithreading overhead.
+  static ContentionModel none() { return ContentionModel{0.0, 0.0, 1.0}; }
+};
+
+}  // namespace conscale

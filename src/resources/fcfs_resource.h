@@ -1,0 +1,59 @@
+// FcfsResource: a first-come-first-served multi-channel service station.
+// Models the database disk (the critical resource under the paper's
+// read/write-mix I/O-intensive workload, §III-C.3): requests queue for one of
+// `channels` identical servers and are served for their full demand without
+// preemption. Unlike the CPU, adding concurrency to a saturated disk buys
+// nothing — which is why the I/O-bound Q_lower in Fig 7(f) is so small.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "simcore/simulation.h"
+
+namespace conscale {
+
+class FcfsResource {
+ public:
+  using CompletionCallback = std::function<void()>;
+
+  FcfsResource(Simulation& sim, int channels = 1, double speed = 1.0);
+  FcfsResource(const FcfsResource&) = delete;
+  FcfsResource& operator=(const FcfsResource&) = delete;
+
+  /// Enqueues a job with `work` service-seconds of demand.
+  void submit(double work, CompletionCallback on_complete);
+
+  void set_speed(double speed);
+  void set_channels(int channels);
+
+  int channels() const { return channels_; }
+  double speed() const { return speed_; }
+  std::size_t busy_channels() const { return busy_; }
+  std::size_t queued() const { return queue_.size(); }
+  /// Jobs in service plus jobs waiting.
+  std::size_t active_jobs() const { return busy_ + queue_.size(); }
+
+  /// Cumulative busy-channel-seconds (for disk utilization reporting).
+  double busy_channel_seconds() const;
+
+ private:
+  struct PendingJob {
+    double work;
+    CompletionCallback on_complete;
+  };
+
+  void try_dispatch();
+  void account_to_now();
+
+  Simulation& sim_;
+  int channels_;
+  double speed_;
+  std::size_t busy_ = 0;
+  std::deque<PendingJob> queue_;
+  double busy_channel_seconds_ = 0.0;
+  SimTime last_update_ = 0.0;
+};
+
+}  // namespace conscale

@@ -1,0 +1,144 @@
+#include "resources/ps_resource.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace conscale {
+
+namespace {
+// Completion times computed from double arithmetic can land a hair before
+// the job's remaining work reaches zero; treat anything below this as done.
+constexpr double kWorkEpsilon = 1e-12;
+}  // namespace
+
+ProcessorSharingResource::ProcessorSharingResource(Simulation& sim, int cores,
+                                                   double speed,
+                                                   ContentionModel contention)
+    : sim_(sim), cores_(cores), speed_(speed), contention_(contention),
+      last_update_(sim.now()) {
+  assert(cores_ >= 1);
+  assert(speed_ > 0.0);
+}
+
+ProcessorSharingResource::~ProcessorSharingResource() {
+  completion_event_.cancel();
+}
+
+double ProcessorSharingResource::per_job_rate() const {
+  const auto n = static_cast<double>(jobs_.size());
+  if (n == 0.0) return 0.0;
+  const double share = std::min(1.0, static_cast<double>(cores_) / n);
+  return speed_ * share * contention_.efficiency(n);
+}
+
+void ProcessorSharingResource::advance_to_now() {
+  const SimTime now = sim_.now();
+  const double elapsed = now - last_update_;
+  last_update_ = now;
+  if (elapsed <= 0.0 || jobs_.empty()) return;
+  const auto n = static_cast<double>(jobs_.size());
+  busy_core_seconds_ += elapsed * std::min(n, static_cast<double>(cores_));
+  const double served = elapsed * per_job_rate();
+  if (served <= 0.0) return;
+  for (auto& [id, job] : jobs_) {
+    const double delta = std::min(job.remaining, served);
+    job.remaining -= delta;
+    work_done_ += delta;
+  }
+}
+
+void ProcessorSharingResource::reschedule_completion() {
+  completion_event_.cancel();
+  if (jobs_.empty()) return;
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& [id, job] : jobs_) {
+    min_remaining = std::min(min_remaining, job.remaining);
+  }
+  const double rate = per_job_rate();
+  assert(rate > 0.0);
+  const double delay = std::max(min_remaining, 0.0) / rate;
+  completion_event_ =
+      sim_.schedule_after(delay, [this] { on_completion_event(); });
+}
+
+void ProcessorSharingResource::on_completion_event() {
+  advance_to_now();
+  // Collect every job that has run out of work (ties complete together).
+  // If floating-point rounding left the frontrunner with a sliver of work so
+  // small that the rescheduled delay could underflow below one ulp of the
+  // clock, complete it now rather than risk a zero-progress event loop.
+  double threshold = kWorkEpsilon;
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& [id, job] : jobs_) {
+    min_remaining = std::min(min_remaining, job.remaining);
+  }
+  if (min_remaining > threshold && min_remaining < 1e-9) {
+    threshold = min_remaining;
+  }
+  std::vector<CompletionCallback> callbacks;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->second.remaining <= threshold) {
+      callbacks.push_back(std::move(it->second.on_complete));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reschedule_completion();
+  // Callbacks run after internal state is consistent: they may submit new
+  // jobs to this very resource.
+  for (auto& callback : callbacks) callback();
+}
+
+ProcessorSharingResource::JobId ProcessorSharingResource::submit(
+    double work, CompletionCallback on_complete) {
+  advance_to_now();
+  const JobId id = next_id_++;
+  jobs_.emplace(id, Job{std::max(work, 0.0), std::move(on_complete)});
+  reschedule_completion();
+  return id;
+}
+
+bool ProcessorSharingResource::abort(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  advance_to_now();
+  jobs_.erase(it);
+  reschedule_completion();
+  return true;
+}
+
+void ProcessorSharingResource::set_cores(int cores) {
+  assert(cores >= 1);
+  advance_to_now();
+  cores_ = cores;
+  reschedule_completion();
+}
+
+void ProcessorSharingResource::set_speed(double speed) {
+  assert(speed > 0.0);
+  advance_to_now();
+  speed_ = speed;
+  reschedule_completion();
+}
+
+void ProcessorSharingResource::set_contention(ContentionModel contention) {
+  advance_to_now();
+  contention_ = contention;
+  reschedule_completion();
+}
+
+double ProcessorSharingResource::busy_core_seconds() const {
+  // Include the partially-integrated current interval so 1 s pollers see
+  // up-to-date utilization.
+  double busy = busy_core_seconds_;
+  if (!jobs_.empty()) {
+    const double elapsed = sim_.now() - last_update_;
+    const auto n = static_cast<double>(jobs_.size());
+    busy += std::max(elapsed, 0.0) * std::min(n, static_cast<double>(cores_));
+  }
+  return busy;
+}
+
+}  // namespace conscale

@@ -1,0 +1,93 @@
+// ProcessorSharingResource: an exact event-driven simulation of a multi-core
+// processor-sharing station with a concurrency-dependent efficiency factor.
+//
+// Semantics: `n` active jobs share `cores` cores. A job's instantaneous
+// service rate is
+//
+//   rate(n) = speed * min(1, cores / n) * efficiency(n)
+//
+// i.e. with n <= cores every job runs at full speed; beyond that the cores
+// are shared equally; and the ContentionModel shrinks everyone's rate as
+// concurrency grows. Between membership changes rates are constant, so the
+// next completion is exactly the job with the smallest remaining work; the
+// resource advances all jobs lazily at each event and reschedules the single
+// pending completion event (O(active jobs) per event).
+//
+// Busy-core time is integrated continuously so the cluster layer can report
+// the CPU utilization signal the scaling controllers act on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "resources/contention.h"
+#include "simcore/simulation.h"
+
+namespace conscale {
+
+class ProcessorSharingResource {
+ public:
+  using JobId = std::uint64_t;
+  using CompletionCallback = std::function<void()>;
+
+  ProcessorSharingResource(Simulation& sim, int cores, double speed = 1.0,
+                           ContentionModel contention = ContentionModel::none());
+  ~ProcessorSharingResource();
+  ProcessorSharingResource(const ProcessorSharingResource&) = delete;
+  ProcessorSharingResource& operator=(const ProcessorSharingResource&) = delete;
+
+  /// Submits a job demanding `work` CPU-seconds (at speed 1, one core).
+  /// `on_complete` fires when the job's work is fully served.
+  JobId submit(double work, CompletionCallback on_complete);
+
+  /// Aborts a job, discarding its remaining work (no callback). Returns
+  /// false if the job already completed.
+  bool abort(JobId id);
+
+  /// Runtime reconfiguration — vertical scaling (§III-C.1). Takes effect
+  /// immediately; in-flight jobs keep their remaining work.
+  void set_cores(int cores);
+  void set_speed(double speed);
+  void set_contention(ContentionModel contention);
+
+  int cores() const { return cores_; }
+  double speed() const { return speed_; }
+  const ContentionModel& contention() const { return contention_; }
+  std::size_t active_jobs() const { return jobs_.size(); }
+
+  /// Cumulative busy-core-seconds (integrated min(n, cores), *not* reduced
+  /// by the contention factor: a thrashing CPU is still a busy CPU, which is
+  /// exactly why hardware-only autoscalers get fooled).
+  double busy_core_seconds() const;
+
+  /// Cumulative CPU-seconds of useful work completed.
+  double work_done() const { return work_done_; }
+
+ private:
+  struct Job {
+    double remaining = 0.0;
+    CompletionCallback on_complete;
+  };
+
+  double per_job_rate() const;
+  void advance_to_now();
+  void reschedule_completion();
+  void on_completion_event();
+
+  Simulation& sim_;
+  int cores_;
+  double speed_;
+  ContentionModel contention_;
+
+  std::unordered_map<JobId, Job> jobs_;
+  JobId next_id_ = 1;
+  SimTime last_update_ = 0.0;
+  EventHandle completion_event_;
+
+  double busy_core_seconds_ = 0.0;
+  double work_done_ = 0.0;
+};
+
+}  // namespace conscale

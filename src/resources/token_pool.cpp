@@ -1,0 +1,62 @@
+#include "resources/token_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace conscale {
+
+TokenPool::TokenPool(std::string name, std::size_t capacity)
+    : name_(std::move(name)), capacity_(capacity) {}
+
+std::uint64_t TokenPool::acquire(GrantCallback on_grant) {
+  const std::uint64_t ticket = next_ticket_++;
+  if (!granting_ && queue_.empty() && in_use_ < capacity_) {
+    ++in_use_;
+    ++total_grants_;
+    on_grant();
+    return ticket;
+  }
+  queue_.push_back(Waiter{ticket, std::move(on_grant)});
+  ++total_queued_;
+  // A release may be in flight via grant_waiters; nothing else to do — FIFO
+  // order is preserved by queueing behind existing waiters.
+  grant_waiters();
+  return ticket;
+}
+
+bool TokenPool::cancel(std::uint64_t ticket) {
+  auto it = std::find_if(queue_.begin(), queue_.end(),
+                         [&](const Waiter& w) { return w.ticket == ticket; });
+  if (it == queue_.end()) return false;
+  queue_.erase(it);
+  return true;
+}
+
+void TokenPool::release() {
+  assert(in_use_ > 0);
+  --in_use_;
+  grant_waiters();
+}
+
+void TokenPool::resize(std::size_t capacity) {
+  capacity_ = capacity;
+  grant_waiters();
+}
+
+void TokenPool::grant_waiters() {
+  if (granting_) return;  // re-entrancy guard: a grant callback may release()
+  granting_ = true;
+  while (!queue_.empty() && in_use_ < capacity_) {
+    Waiter waiter = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_use_;
+    ++total_grants_;
+    waiter.on_grant();
+  }
+  granting_ = false;
+  // Grants performed inside callbacks may have freed more tokens.
+  if (!queue_.empty() && in_use_ < capacity_) grant_waiters();
+}
+
+}  // namespace conscale

@@ -1,0 +1,48 @@
+#include "sct/scatter.h"
+
+#include <cmath>
+
+namespace conscale {
+
+void ScatterSet::add(const IntervalSample& sample) {
+  if (sample.concurrency < 0.5) return;
+  const int q = static_cast<int>(std::lround(sample.concurrency));
+  auto& bucket = buckets_[q];
+  bucket.q = q;
+  bucket.throughput.add(sample.throughput);
+  // Intervals with no completions say "saturated/stalled", which matters for
+  // throughput; they carry no RT observation though.
+  if (sample.completions > 0) bucket.response_time.add(sample.mean_rt);
+  ++total_samples_;
+}
+
+void ScatterSet::add_all(const std::vector<IntervalSample>& samples) {
+  for (const auto& s : samples) add(s);
+}
+
+std::vector<const ConcurrencyBucket*> ScatterSet::ordered() const {
+  std::vector<const ConcurrencyBucket*> out;
+  out.reserve(buckets_.size());
+  for (const auto& [q, bucket] : buckets_) out.push_back(&bucket);
+  return out;
+}
+
+std::vector<const ConcurrencyBucket*> ScatterSet::ordered_dense(
+    std::size_t min_samples) const {
+  std::vector<const ConcurrencyBucket*> out;
+  for (const auto& [q, bucket] : buckets_) {
+    if (bucket.throughput.count() >= min_samples) out.push_back(&bucket);
+  }
+  return out;
+}
+
+int ScatterSet::max_q() const {
+  return buckets_.empty() ? 0 : buckets_.rbegin()->first;
+}
+
+void ScatterSet::clear() {
+  buckets_.clear();
+  total_samples_ = 0;
+}
+
+}  // namespace conscale

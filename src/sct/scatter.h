@@ -1,0 +1,51 @@
+// ScatterSet: the Real-time Metrics Collection phase of the SCT model
+// (§III-A, Fig 4). Fine-grained {Q_tn, TP_tn, RT_tn} tuples from a short
+// window (e.g. 3 minutes of 50 ms samples) are grouped by integer
+// concurrency level Q_n; for each level we keep full running statistics of
+// throughput and response time — the t-test in the estimation phase needs
+// variances, not just means.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/stats.h"
+#include "metrics/interval.h"
+
+namespace conscale {
+
+struct ConcurrencyBucket {
+  int q = 0;                  ///< concurrency level (rounded)
+  RunningStats throughput;    ///< requests/s observed at this level
+  RunningStats response_time; ///< seconds
+};
+
+class ScatterSet {
+ public:
+  /// Folds one interval sample in. Samples with concurrency < 0.5 are
+  /// idle-time noise and are skipped (they carry no information about the
+  /// concurrency-throughput relation).
+  void add(const IntervalSample& sample);
+
+  void add_all(const std::vector<IntervalSample>& samples);
+
+  /// Buckets in increasing-Q order.
+  std::vector<const ConcurrencyBucket*> ordered() const;
+
+  /// Buckets with at least `min_samples` observations, increasing Q.
+  std::vector<const ConcurrencyBucket*> ordered_dense(
+      std::size_t min_samples) const;
+
+  std::size_t total_samples() const { return total_samples_; }
+  std::size_t bucket_count() const { return buckets_.size(); }
+  bool empty() const { return buckets_.empty(); }
+  int max_q() const;
+
+  void clear();
+
+ private:
+  std::map<int, ConcurrencyBucket> buckets_;
+  std::size_t total_samples_ = 0;
+};
+
+}  // namespace conscale

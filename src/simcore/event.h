@@ -1,0 +1,56 @@
+// Event primitives for the discrete-event engine.
+//
+// Events are heap-ordered by (time, sequence); the sequence number makes
+// ordering of simultaneous events deterministic (FIFO in scheduling order),
+// which the reproduction relies on for bit-for-bit repeatable runs.
+// Cancellation is lazy: EventHandle flips a flag, the queue drops the entry
+// when it surfaces. This keeps cancel() O(1), which matters because the
+// processor-sharing resource cancels and reschedules completions every time
+// its active set changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/time_units.h"
+
+namespace conscale {
+
+using EventCallback = std::function<void()>;
+
+namespace detail {
+struct EventState {
+  EventCallback callback;
+  bool cancelled = false;
+};
+}  // namespace detail
+
+/// Handle to a scheduled event; cheap to copy, safe to outlive the event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  explicit EventHandle(std::weak_ptr<detail::EventState> state)
+      : state_(std::move(state)) {}
+
+  /// Cancels the event if it has not fired yet. Returns true if this call
+  /// performed the cancellation.
+  bool cancel() {
+    if (auto s = state_.lock(); s && !s->cancelled) {
+      s->cancelled = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// True while the event is scheduled and not cancelled.
+  bool pending() const {
+    auto s = state_.lock();
+    return s && !s->cancelled;
+  }
+
+ private:
+  std::weak_ptr<detail::EventState> state_;
+};
+
+}  // namespace conscale

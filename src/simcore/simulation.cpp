@@ -1,0 +1,88 @@
+#include "simcore/simulation.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace conscale {
+
+EventHandle Simulation::schedule_at(SimTime when, EventCallback callback) {
+  auto state = std::make_shared<detail::EventState>();
+  state->callback = std::move(callback);
+  QueuedEvent entry{std::max(when, now_), next_sequence_++, state};
+  queue_.push(std::move(entry));
+  ++live_events_;
+  return EventHandle(state);
+}
+
+EventHandle Simulation::schedule_after(SimDuration delay,
+                                       EventCallback callback) {
+  return schedule_at(now_ + std::max(delay, 0.0), std::move(callback));
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    QueuedEvent entry = queue_.top();
+    queue_.pop();
+    --live_events_;
+    if (entry.state->cancelled) continue;
+    now_ = entry.time;
+    ++executed_;
+    // Mark fired so a handle held by the callback's owner reports !pending().
+    entry.state->cancelled = true;
+    // Move the callback out so self-rescheduling callbacks can't be clobbered
+    // by queue growth.
+    EventCallback callback = std::move(entry.state->callback);
+    callback();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    // Skip cancelled entries without advancing the clock.
+    if (queue_.top().state->cancelled) {
+      queue_.pop();
+      --live_events_;
+      continue;
+    }
+    if (queue_.top().time > deadline) break;
+    step();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+void Simulation::run_all() {
+  while (step()) {
+  }
+}
+
+PeriodicTask::PeriodicTask(Simulation& sim, SimDuration period,
+                           std::function<void(SimTime)> callback,
+                           bool fire_immediately)
+    : sim_(sim), period_(period), callback_(std::move(callback)) {
+  if (fire_immediately) {
+    next_ = sim_.schedule_after(0.0, [this] {
+      if (!running_) return;
+      callback_(sim_.now());
+      if (running_) arm();
+    });
+  } else {
+    arm();
+  }
+}
+
+void PeriodicTask::arm() {
+  next_ = sim_.schedule_after(period_, [this] {
+    if (!running_) return;
+    callback_(sim_.now());
+    if (running_) arm();
+  });
+}
+
+void PeriodicTask::stop() {
+  running_ = false;
+  next_.cancel();
+}
+
+}  // namespace conscale

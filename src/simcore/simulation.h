@@ -1,0 +1,95 @@
+// The discrete-event simulation kernel: a virtual clock and a deterministic
+// event queue. Single-threaded by design (see DESIGN.md §6.4); the model is
+// concurrent, the engine is not, which gives reproducible experiments and a
+// trivially race-free substrate.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/time_units.h"
+#include "simcore/event.h"
+
+namespace conscale {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time in seconds.
+  SimTime now() const { return now_; }
+
+  /// Schedules `callback` at absolute time `when`; times in the past are
+  /// clamped to `now()` (fires next, after already-queued events at now()).
+  EventHandle schedule_at(SimTime when, EventCallback callback);
+
+  /// Schedules `callback` after `delay` seconds (negative clamps to 0).
+  EventHandle schedule_after(SimDuration delay, EventCallback callback);
+
+  /// Runs events until the queue is empty or the next event is after
+  /// `deadline`; the clock is left at min(deadline, last event time).
+  void run_until(SimTime deadline);
+
+  /// Convenience: run_until(now() + duration).
+  void run_for(SimDuration duration) { run_until(now_ + duration); }
+
+  /// Executes the single next event. Returns false if the queue is empty.
+  bool step();
+
+  /// Drains every queued event (use only in tests / bounded scenarios).
+  void run_all();
+
+  std::size_t pending_events() const { return live_events_; }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct QueuedEvent {
+    SimTime time;
+    std::uint64_t sequence;
+    std::shared_ptr<detail::EventState> state;
+    bool operator>(const QueuedEvent& other) const {
+      if (time != other.time) return time > other.time;
+      return sequence > other.sequence;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t executed_ = 0;
+  std::size_t live_events_ = 0;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>,
+                      std::greater<QueuedEvent>>
+      queue_;
+};
+
+/// Repeats a callback at a fixed period until stopped. Used for the 1 s
+/// monitoring-agent ticks and 50 ms metric intervals.
+class PeriodicTask {
+ public:
+  /// `callback` receives the firing time. The first firing is at
+  /// `start + period` unless `fire_immediately` is set.
+  PeriodicTask(Simulation& sim, SimDuration period,
+               std::function<void(SimTime)> callback,
+               bool fire_immediately = false);
+  ~PeriodicTask() { stop(); }
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop();
+  bool running() const { return running_; }
+  SimDuration period() const { return period_; }
+
+ private:
+  void arm();
+
+  Simulation& sim_;
+  SimDuration period_;
+  std::function<void(SimTime)> callback_;
+  EventHandle next_;
+  bool running_ = true;
+};
+
+}  // namespace conscale

@@ -1,0 +1,151 @@
+#include "tier/server.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace conscale {
+
+struct Server::Visit {
+  RequestContext ctx;
+  Completion done;
+  SimTime arrival = 0.0;
+  const PhaseDemand* demand = nullptr;
+  int calls_remaining = 0;
+};
+
+Server::Server(Simulation& sim, Params params)
+    : sim_(sim), params_(std::move(params)), rng_(params_.seed),
+      cpu_(sim, params_.cores, params_.speed, params_.contention),
+      disk_(sim, params_.disk_channels, params_.disk_speed),
+      threads_(params_.name + ".threads",
+               std::max<std::size_t>(params_.thread_pool_size, 1)) {
+  if (params_.downstream_pool_size > 0) {
+    downstream_pool_ = std::make_unique<TokenPool>(
+        params_.name + ".dbconn", params_.downstream_pool_size);
+  }
+}
+
+void Server::set_downstream(DownstreamFn downstream) {
+  downstream_ = std::move(downstream);
+}
+
+void Server::set_thread_pool_size(std::size_t size) {
+  threads_.resize(std::max<std::size_t>(size, 1));
+}
+
+void Server::set_downstream_pool_size(std::size_t size) {
+  if (!downstream_pool_) {
+    if (size == 0) return;
+    downstream_pool_ =
+        std::make_unique<TokenPool>(params_.name + ".dbconn", size);
+    return;
+  }
+  downstream_pool_->resize(std::max<std::size_t>(size, 1));
+}
+
+void Server::set_cores(int cores) { cpu_.set_cores(cores); }
+
+void Server::handle(const RequestContext& ctx, Completion done) {
+  auto visit = std::make_shared<Visit>();
+  visit->ctx = ctx;
+  visit->done = std::move(done);
+  visit->arrival = sim_.now();
+  const auto tier = static_cast<std::size_t>(params_.tier_index);
+  if (ctx.request_class == nullptr ||
+      tier >= ctx.request_class->tiers.size()) {
+    throw std::logic_error("Server '" + params_.name +
+                           "': request class has no demand for tier " +
+                           std::to_string(params_.tier_index));
+  }
+  visit->demand = &ctx.request_class->tiers[tier];
+  ++in_flight_;
+  threads_.acquire([this, visit] { start_processing(visit); });
+}
+
+void Server::start_processing(const std::shared_ptr<Visit>& visit) {
+  for (auto& h : hooks_) {
+    if (h.on_admitted) h.on_admitted(sim_.now());
+  }
+  const double cv = visit->ctx.request_class->demand_cv;
+  const double cpu_pre =
+      visit->demand->cpu_pre <= 0.0
+          ? 0.0
+          : rng_.lognormal_mean_cv(visit->demand->cpu_pre, cv);
+  auto after_delay = [this, visit] {
+    visit->calls_remaining = visit->demand->downstream_calls;
+    run_downstream_calls(visit);
+  };
+  auto after_disk = [this, visit, after_delay]() mutable {
+    const double cv2 = visit->ctx.request_class->demand_cv;
+    const double delay =
+        visit->demand->pure_delay <= 0.0
+            ? 0.0
+            : rng_.lognormal_mean_cv(visit->demand->pure_delay, cv2);
+    if (delay > 0.0) {
+      sim_.schedule_after(delay, std::move(after_delay));
+    } else {
+      after_delay();
+    }
+  };
+  auto after_cpu = [this, visit, after_disk]() mutable {
+    const double cv2 = visit->ctx.request_class->demand_cv;
+    const double disk_demand =
+        visit->demand->disk <= 0.0
+            ? 0.0
+            : rng_.lognormal_mean_cv(visit->demand->disk, cv2);
+    if (disk_demand > 0.0) {
+      disk_.submit(disk_demand, std::move(after_disk));
+    } else {
+      after_disk();
+    }
+  };
+  if (cpu_pre > 0.0) {
+    cpu_.submit(cpu_pre, std::move(after_cpu));
+  } else {
+    after_cpu();
+  }
+}
+
+void Server::run_downstream_calls(const std::shared_ptr<Visit>& visit) {
+  if (visit->calls_remaining <= 0 || !downstream_) {
+    // Final CPU burst, then depart.
+    const double cv = visit->ctx.request_class->demand_cv;
+    const double cpu_post =
+        visit->demand->cpu_post <= 0.0
+            ? 0.0
+            : rng_.lognormal_mean_cv(visit->demand->cpu_post, cv);
+    if (cpu_post > 0.0) {
+      cpu_.submit(cpu_post, [this, visit] { finish(visit); });
+    } else {
+      finish(visit);
+    }
+    return;
+  }
+  --visit->calls_remaining;
+  if (downstream_pool_) {
+    downstream_pool_->acquire([this, visit] {
+      downstream_(visit->ctx, [this, visit] {
+        downstream_pool_->release();
+        run_downstream_calls(visit);
+      });
+    });
+  } else {
+    downstream_(visit->ctx, [this, visit] { run_downstream_calls(visit); });
+  }
+}
+
+void Server::finish(const std::shared_ptr<Visit>& visit) {
+  threads_.release();
+  assert(in_flight_ > 0);
+  --in_flight_;
+  ++completed_;
+  const double rt = sim_.now() - visit->arrival;
+  for (auto& h : hooks_) {
+    if (h.on_departed) h.on_departed(sim_.now(), rt);
+  }
+  if (visit->done) visit->done();
+}
+
+}  // namespace conscale

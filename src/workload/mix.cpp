@@ -1,0 +1,132 @@
+#include "workload/mix.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace conscale {
+
+RequestMix::RequestMix(std::vector<RequestClass> classes)
+    : classes_(std::move(classes)) {
+  rebuild_weights();
+}
+
+void RequestMix::rebuild_weights() {
+  cumulative_weights_.clear();
+  double total = 0.0;
+  for (const auto& c : classes_) {
+    if (c.weight < 0.0) throw std::invalid_argument("negative class weight");
+    total += c.weight;
+    cumulative_weights_.push_back(total);
+  }
+  if (!classes_.empty() && total <= 0.0) {
+    throw std::invalid_argument("request mix has zero total weight");
+  }
+}
+
+const RequestClass& RequestMix::pick(Rng& rng) const {
+  assert(!classes_.empty());
+  const double target = rng.uniform() * cumulative_weights_.back();
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (target < cumulative_weights_[i]) return classes_[i];
+  }
+  return classes_.back();
+}
+
+void RequestMix::apply_dataset_scale(double factor) {
+  if (factor <= 0.0) throw std::invalid_argument("dataset scale must be > 0");
+  const double relative = factor / dataset_scale_;
+  dataset_scale_ = factor;
+  for (auto& c : classes_) {
+    if (c.tiers.size() >= 2) {
+      c.tiers[1].cpu_post *= relative;  // app-tier result processing
+    }
+    if (c.tiers.size() >= 3) {
+      c.tiers[2].cpu_pre *= relative;  // db-tier scan/filter cost (mild)
+    }
+  }
+}
+
+namespace {
+
+RequestClass make_browse_class(const MixParams& p, const std::string& name,
+                               double weight, double heaviness) {
+  RequestClass c;
+  c.name = name;
+  c.is_write = false;
+  c.weight = weight;
+  c.demand_cv = p.demand_cv;
+  const double s = p.work_scale * heaviness;
+  PhaseDemand web;
+  web.cpu_pre = p.web_cpu * s;
+  web.pure_delay = p.web_delay * p.work_scale;
+  web.downstream_calls = 1;
+  PhaseDemand app;
+  app.cpu_pre = p.app_cpu_pre * s;
+  app.cpu_post = p.app_cpu_post * s * p.dataset_scale;
+  app.pure_delay = p.app_delay * p.work_scale;
+  app.downstream_calls = p.app_db_queries;
+  PhaseDemand db;
+  db.cpu_pre = p.db_cpu_browse * s;
+  db.pure_delay = p.db_delay * p.work_scale;
+  c.tiers = {web, app, db};
+  return c;
+}
+
+RequestClass make_write_class(const MixParams& p, const std::string& name,
+                              double weight, double heaviness) {
+  RequestClass c;
+  c.name = name;
+  c.is_write = true;
+  c.weight = weight;
+  c.demand_cv = p.demand_cv;
+  const double s = p.work_scale * heaviness;
+  PhaseDemand web;
+  web.cpu_pre = p.web_cpu * s;
+  web.pure_delay = p.web_delay * p.work_scale;
+  web.downstream_calls = 1;
+  PhaseDemand app;
+  app.cpu_pre = p.app_cpu_pre * s;
+  app.cpu_post = 0.5 * p.app_cpu_post * s * p.dataset_scale;
+  app.pure_delay = p.app_delay * p.work_scale;
+  app.downstream_calls = p.app_db_queries;
+  PhaseDemand db;
+  db.cpu_pre = p.db_cpu_write * s;
+  db.disk = p.db_disk_write * s;
+  db.pure_delay = p.db_delay * p.work_scale;
+  c.tiers = {web, app, db};
+  return c;
+}
+
+}  // namespace
+
+RequestMix make_browse_only_mix(const MixParams& params) {
+  // A handful of interaction types with different weights/heaviness, standing
+  // in for RUBBoS's 24 servlets; all CPU-bound at the DB.
+  std::vector<RequestClass> classes;
+  classes.push_back(make_browse_class(params, "ViewStory", 4.0, 1.0));
+  classes.push_back(make_browse_class(params, "BrowseCategories", 2.0, 0.7));
+  classes.push_back(make_browse_class(params, "SearchInStories", 1.0, 1.5));
+  classes.push_back(make_browse_class(params, "ViewComment", 3.0, 0.8));
+  RequestMix mix{std::move(classes)};
+  return mix;
+}
+
+RequestMix make_read_write_mix(const MixParams& params) {
+  // I/O-intensive mode: the paper's "StoreStory" read/write mix moves the
+  // DB's critical resource from CPU to disk. Reads in this mode are uncached
+  // (the write traffic churns the buffer pool), so even the browse-style
+  // classes touch the disk.
+  std::vector<RequestClass> classes;
+  auto uncached = [&](RequestClass c) {
+    c.tiers[2].disk = 0.4 * params.db_disk_write * params.work_scale;
+    return c;
+  };
+  classes.push_back(uncached(make_browse_class(params, "ViewStory", 1.0, 1.0)));
+  classes.push_back(make_write_class(params, "StoreStory", 4.0, 1.0));
+  classes.push_back(make_write_class(params, "StoreComment", 3.0, 0.8));
+  classes.push_back(make_write_class(params, "ModerateComment", 1.0, 0.6));
+  RequestMix mix{std::move(classes)};
+  return mix;
+}
+
+}  // namespace conscale

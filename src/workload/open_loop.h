@@ -1,0 +1,68 @@
+// OpenLoopGenerator: a (possibly time-varying) Poisson arrival process.
+//
+// The closed-loop populations model finite user pools (arrivals slow down
+// when the system slows — self-throttling). An open-loop stream keeps
+// arriving regardless, which is the right model for traffic fanned in from
+// outside (APIs, upstream services) and the classic way to measure a
+// latency-vs-offered-load curve. Time-varying rates are drawn by thinning
+// (Lewis & Shedler): candidates at the peak rate, accepted with probability
+// rate(t)/rate_max.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "simcore/simulation.h"
+#include "workload/mix.h"
+#include "workload/request.h"
+#include "workload/trace.h"
+
+namespace conscale {
+
+class OpenLoopGenerator {
+ public:
+  using SubmitFn = std::function<void(const RequestContext&,
+                                      std::function<void()> on_response)>;
+
+  struct Params {
+    std::uint64_t seed = 7;
+  };
+
+  /// `rate_trace` is interpreted as offered load in requests/second over
+  /// time (reuse WorkloadTrace; "users" axis = req/s here). Arrivals start
+  /// immediately and stop at the end of the trace.
+  OpenLoopGenerator(Simulation& sim, const WorkloadTrace& rate_trace,
+                    const RequestMix& mix, SubmitFn submit, Params params);
+  ~OpenLoopGenerator();
+  OpenLoopGenerator(const OpenLoopGenerator&) = delete;
+  OpenLoopGenerator& operator=(const OpenLoopGenerator&) = delete;
+
+  void stop();
+
+  std::uint64_t requests_issued() const { return issued_; }
+  std::uint64_t requests_completed() const { return completed_; }
+  std::uint64_t in_flight() const { return issued_ - completed_; }
+  const LogHistogram& response_times() const { return rt_histogram_; }
+
+ private:
+  void schedule_next();
+  void arrival();
+
+  Simulation& sim_;
+  const WorkloadTrace& rate_trace_;
+  const RequestMix& mix_;
+  SubmitFn submit_;
+  Rng rng_;
+  double rate_max_;
+  bool running_ = true;
+  EventHandle next_;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ = 0;
+  LogHistogram rt_histogram_;
+};
+
+}  // namespace conscale

@@ -1,0 +1,62 @@
+// Request model for the simulated n-tier application.
+//
+// A request visits tiers in a chain (web -> app -> db in the RUBBoS-style
+// default). At each tier it consumes resources according to that tier's
+// PhaseDemand:
+//
+//   cpu_pre     CPU work before any downstream interaction (parsing,
+//               dispatch, query planning...)
+//   disk        disk service demand (FCFS station; dominant for the
+//               read/write-mix I/O-intensive mode)
+//   pure_delay  time the serving thread is held without consuming a modeled
+//               resource (network round-trips, protocol handling, driver
+//               overhead). This is what separates "concurrency needed to
+//               saturate the CPU" from the core count — with demand D and
+//               pure delay L, one core saturates around (D+L)/D in-flight
+//               requests, which is exactly the paper's Q_lower mechanism.
+//   downstream_calls  number of *sequential* synchronous RPCs to the next
+//               tier, each holding the local thread (thread-per-request,
+//               §III-A) and, where configured, a connection-pool token.
+//   cpu_post    CPU work after the downstream replies (result assembly;
+//               this is the component that grows with dataset size).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time_units.h"
+
+namespace conscale {
+
+/// Per-tier resource demands of one request class. All demands are mean
+/// values in seconds; actual samples are drawn log-normally with the class's
+/// coefficient of variation.
+struct PhaseDemand {
+  double cpu_pre = 0.0;
+  double cpu_post = 0.0;
+  double disk = 0.0;
+  double pure_delay = 0.0;
+  int downstream_calls = 0;
+
+  double total_cpu() const { return cpu_pre + cpu_post; }
+};
+
+/// A class of requests (the paper's RUBBoS servlet interactions such as
+/// "ViewStory" or "StoreStory"), with per-tier demands.
+struct RequestClass {
+  std::string name;
+  bool is_write = false;
+  double weight = 1.0;  ///< relative selection probability in a mix
+  double demand_cv = 0.25;  ///< coefficient of variation of sampled demands
+  std::vector<PhaseDemand> tiers;  ///< indexed by tier depth (0 = front)
+};
+
+/// Identity of one end-to-end request as it flows through the system.
+struct RequestContext {
+  std::uint64_t id = 0;
+  const RequestClass* request_class = nullptr;
+  SimTime issued_at = 0.0;
+};
+
+}  // namespace conscale

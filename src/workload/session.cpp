@@ -1,0 +1,164 @@
+#include "workload/session.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace conscale {
+
+SessionModel::SessionModel(std::vector<State> states,
+                           std::vector<double> entry_weights)
+    : states_(std::move(states)), entry_weights_(std::move(entry_weights)) {
+  if (states_.empty()) {
+    throw std::invalid_argument("SessionModel: no states");
+  }
+  if (entry_weights_.size() != states_.size()) {
+    throw std::invalid_argument("SessionModel: entry weight shape mismatch");
+  }
+  for (double w : entry_weights_) {
+    if (w < 0.0) throw std::invalid_argument("SessionModel: negative weight");
+    entry_total_ += w;
+  }
+  if (entry_total_ <= 0.0) {
+    throw std::invalid_argument("SessionModel: all entry weights zero");
+  }
+  for (const auto& s : states_) {
+    if (s.transitions.size() != states_.size()) {
+      throw std::invalid_argument("SessionModel: transition shape mismatch");
+    }
+    double total = s.exit_weight;
+    for (double w : s.transitions) {
+      if (w < 0.0) {
+        throw std::invalid_argument("SessionModel: negative transition");
+      }
+      total += w;
+    }
+    if (total <= 0.0) {
+      throw std::invalid_argument("SessionModel: absorbing state '" + s.name +
+                                  "' without exit weight");
+    }
+  }
+}
+
+std::size_t SessionModel::pick_entry(Rng& rng) const {
+  double target = rng.uniform() * entry_total_;
+  for (std::size_t i = 0; i < entry_weights_.size(); ++i) {
+    target -= entry_weights_[i];
+    if (target < 0.0) return i;
+  }
+  return entry_weights_.size() - 1;
+}
+
+std::optional<std::size_t> SessionModel::next(std::size_t current,
+                                              Rng& rng) const {
+  const State& s = states_.at(current);
+  double total = s.exit_weight;
+  for (double w : s.transitions) total += w;
+  double target = rng.uniform() * total;
+  for (std::size_t i = 0; i < s.transitions.size(); ++i) {
+    target -= s.transitions[i];
+    if (target < 0.0) return i;
+  }
+  return std::nullopt;  // exit
+}
+
+double SessionModel::expected_session_length() const {
+  // Expected visits solve v = e + P^T v where P is the (sub-stochastic)
+  // transition matrix and e the entry distribution; iterate to convergence.
+  const std::size_t n = states_.size();
+  std::vector<double> entry(n);
+  for (std::size_t i = 0; i < n; ++i) entry[i] = entry_weights_[i] / entry_total_;
+  std::vector<std::vector<double>> p(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    double total = states_[i].exit_weight;
+    for (double w : states_[i].transitions) total += w;
+    for (std::size_t j = 0; j < n; ++j) {
+      p[i][j] = states_[i].transitions[j] / total;
+    }
+  }
+  std::vector<double> visits = entry;
+  for (int iteration = 0; iteration < 10000; ++iteration) {
+    std::vector<double> fresh = entry;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) fresh[j] += visits[i] * p[i][j];
+    }
+    double delta = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      delta += std::abs(fresh[j] - visits[j]);
+    }
+    visits.swap(fresh);
+    if (delta < 1e-12) break;
+  }
+  double total = 0.0;
+  for (double v : visits) total += v;
+  return total;
+}
+
+std::vector<double> SessionModel::visit_fractions() const {
+  // Reuse the expected-visit computation and normalize.
+  const std::size_t n = states_.size();
+  std::vector<double> entry(n);
+  for (std::size_t i = 0; i < n; ++i) entry[i] = entry_weights_[i] / entry_total_;
+  std::vector<double> visits = entry;
+  for (int iteration = 0; iteration < 10000; ++iteration) {
+    std::vector<double> fresh = entry;
+    for (std::size_t i = 0; i < n; ++i) {
+      double total = states_[i].exit_weight;
+      for (double w : states_[i].transitions) total += w;
+      for (std::size_t j = 0; j < n; ++j) {
+        fresh[j] += visits[i] * states_[i].transitions[j] / total;
+      }
+    }
+    double delta = 0.0;
+    for (std::size_t j = 0; j < n; ++j) delta += std::abs(fresh[j] - visits[j]);
+    visits.swap(fresh);
+    if (delta < 1e-12) break;
+  }
+  double total = 0.0;
+  for (double v : visits) total += v;
+  for (double& v : visits) v /= total;
+  return visits;
+}
+
+SessionModel SessionModel::rubbos_browse(const RequestMix& mix) {
+  auto class_named = [&mix](const std::string& name) -> std::size_t {
+    for (std::size_t i = 0; i < mix.classes().size(); ++i) {
+      if (mix.classes()[i].name == name) return i;
+    }
+    return 0;
+  };
+  // States: Categories -> Story <-> Comment, occasional Search; users leave
+  // mostly from Story/Comment. Weights chosen for a mean session of ~8
+  // pages dominated by cheap browsing.
+  SessionModel::State categories;
+  categories.name = "BrowseCategories";
+  categories.class_index = class_named("BrowseCategories");
+  categories.think_mean = 1.0;
+  categories.transitions = {0.5, 6.0, 0.5, 1.0};
+  categories.exit_weight = 0.5;
+
+  SessionModel::State story;
+  story.name = "ViewStory";
+  story.class_index = class_named("ViewStory");
+  story.think_mean = 2.0;
+  story.transitions = {1.0, 2.0, 3.5, 0.5};
+  story.exit_weight = 1.5;
+
+  SessionModel::State comment;
+  comment.name = "ViewComment";
+  comment.class_index = class_named("ViewComment");
+  comment.think_mean = 1.2;
+  comment.transitions = {0.5, 2.5, 2.0, 0.3};
+  comment.exit_weight = 1.7;
+
+  SessionModel::State search;
+  search.name = "SearchInStories";
+  search.class_index = class_named("SearchInStories");
+  search.think_mean = 2.5;
+  search.transitions = {0.5, 3.0, 0.5, 0.5};
+  search.exit_weight = 0.5;
+
+  return SessionModel({categories, story, comment, search},
+                      {3.0, 5.0, 0.5, 1.0});
+}
+
+}  // namespace conscale

@@ -1,0 +1,64 @@
+// Session model: Markov-chain navigation between interaction types, the way
+// RUBBoS actually drives its 24 servlets (a user lands on the front page,
+// browses categories, opens stories, sometimes posts a comment, eventually
+// leaves). The flat RequestMix draws classes i.i.d.; sessions introduce the
+// short-range correlation real web traffic has — bursts of cheap browsing
+// punctuated by expensive searches/writes — which widens the concurrency
+// excursions the SCT model gets to observe.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/mix.h"
+
+namespace conscale {
+
+class SessionModel {
+ public:
+  struct State {
+    std::string name;
+    std::size_t class_index = 0;   ///< which RequestMix class this state issues
+    double think_mean = 1.5;       ///< think time after the response [s]
+    /// Unnormalized transition weights to every state (indexed like
+    /// states()); leaving the site is `exit_weight`.
+    std::vector<double> transitions;
+    double exit_weight = 0.0;
+  };
+
+  /// `entry_weights` picks the landing state. Throws std::invalid_argument
+  /// on inconsistent shapes or all-zero weight rows.
+  SessionModel(std::vector<State> states, std::vector<double> entry_weights);
+
+  /// Index of the landing state for a new session.
+  std::size_t pick_entry(Rng& rng) const;
+
+  /// Next state after `current`, or nullopt when the session ends.
+  std::optional<std::size_t> next(std::size_t current, Rng& rng) const;
+
+  const std::vector<State>& states() const { return states_; }
+
+  /// Expected session length (number of requests) from the chain's
+  /// fundamental matrix — handy for capacity math and asserted in tests.
+  double expected_session_length() const;
+
+  /// Stationary visit fractions per state (long-run share of requests),
+  /// computed by power iteration over the visit-ratio equations.
+  std::vector<double> visit_fractions() const;
+
+  /// A RUBBoS-like browsing session over the classes of `mix` (which must
+  /// be one of the standard mixes: classes are matched by name, falling
+  /// back to index 0). Shape: land on a story or category listing, mostly
+  /// keep browsing, occasionally search (expensive), leave after ~8 pages.
+  static SessionModel rubbos_browse(const RequestMix& mix);
+
+ private:
+  std::vector<State> states_;
+  std::vector<double> entry_weights_;
+  double entry_total_ = 0.0;
+};
+
+}  // namespace conscale

@@ -1,0 +1,113 @@
+#include "workload/trace_io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.h"
+#include "common/rng.h"
+
+namespace conscale {
+
+void save_trace_csv(const WorkloadTrace& trace, const std::string& path) {
+  CsvWriter csv(path);
+  csv.header({"t", "users"});
+  const auto& samples = trace.samples();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    csv.row({static_cast<double>(i) * trace.sample_period(), samples[i]});
+  }
+}
+
+WorkloadTrace load_trace_csv(const std::string& path,
+                             const std::string& name) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace_csv: cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("load_trace_csv: empty file " + path);
+  }
+  std::vector<double> times;
+  std::vector<double> users;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) {
+      throw std::runtime_error("load_trace_csv: malformed row: " + line);
+    }
+    try {
+      times.push_back(std::stod(line.substr(0, comma)));
+      users.push_back(std::stod(line.substr(comma + 1)));
+    } catch (const std::exception&) {
+      throw std::runtime_error("load_trace_csv: non-numeric row: " + line);
+    }
+  }
+  if (users.size() < 2) {
+    throw std::runtime_error("load_trace_csv: need at least two samples");
+  }
+  const double period = times[1] - times[0];
+  if (period <= 0.0) {
+    throw std::runtime_error("load_trace_csv: non-increasing timestamps");
+  }
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    if (std::abs((times[i] - times[i - 1]) - period) > 1e-6 * period + 1e-9) {
+      throw std::runtime_error("load_trace_csv: uneven sample spacing");
+    }
+  }
+  return WorkloadTrace(name, period, std::move(users));
+}
+
+WorkloadTrace scale_users(const WorkloadTrace& trace, double factor) {
+  std::vector<double> samples = trace.samples();
+  for (double& s : samples) s *= factor;
+  return WorkloadTrace(trace.name(), trace.sample_period(),
+                       std::move(samples));
+}
+
+WorkloadTrace normalize_peak(const WorkloadTrace& trace, double peak_users) {
+  const double peak = trace.peak_users();
+  if (peak <= 0.0) {
+    throw std::invalid_argument("normalize_peak: trace peak is zero");
+  }
+  return scale_users(trace, peak_users / peak);
+}
+
+WorkloadTrace stretch_time(const WorkloadTrace& trace, double factor) {
+  if (factor <= 0.0) {
+    throw std::invalid_argument("stretch_time: factor must be > 0");
+  }
+  return WorkloadTrace(trace.name(), trace.sample_period() * factor,
+                       trace.samples());
+}
+
+WorkloadTrace concat(const WorkloadTrace& first, const WorkloadTrace& second) {
+  if (std::abs(first.sample_period() - second.sample_period()) > 1e-12) {
+    throw std::invalid_argument("concat: sample periods differ");
+  }
+  std::vector<double> samples = first.samples();
+  samples.insert(samples.end(), second.samples().begin(),
+                 second.samples().end());
+  return WorkloadTrace(first.name() + "+" + second.name(),
+                       first.sample_period(), std::move(samples));
+}
+
+WorkloadTrace add_noise(const WorkloadTrace& trace, double fraction,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> samples = trace.samples();
+  for (double& s : samples) {
+    s = std::max(s * (1.0 + fraction * rng.normal()), 0.0);
+  }
+  return WorkloadTrace(trace.name(), trace.sample_period(),
+                       std::move(samples));
+}
+
+WorkloadTrace clamp_users(const WorkloadTrace& trace, double lo, double hi) {
+  std::vector<double> samples = trace.samples();
+  for (double& s : samples) s = std::clamp(s, lo, hi);
+  return WorkloadTrace(trace.name(), trace.sample_period(),
+                       std::move(samples));
+}
+
+}  // namespace conscale

@@ -1,0 +1,44 @@
+// Trace persistence and composition. The six built-in shapes are synthetic;
+// real deployments replay measured traces — these helpers load/save traces
+// as two-column CSV (t_seconds, users) and provide the transforms needed to
+// adapt a recorded trace to an experiment (rescale peaks, stretch time,
+// splice phases, add jitter).
+#pragma once
+
+#include <string>
+
+#include "workload/trace.h"
+
+namespace conscale {
+
+/// Writes "t,users" rows (header included).
+void save_trace_csv(const WorkloadTrace& trace, const std::string& path);
+
+/// Reads a trace written by save_trace_csv (or any two-column CSV with a
+/// header). Samples must be evenly spaced; the period is inferred from the
+/// first two rows. Throws std::runtime_error on malformed input.
+WorkloadTrace load_trace_csv(const std::string& path,
+                             const std::string& name = "loaded");
+
+// ---- transforms (all pure: return a new trace) ----
+
+/// Multiplies every sample by `factor`.
+WorkloadTrace scale_users(const WorkloadTrace& trace, double factor);
+
+/// Rescales the peak to exactly `peak_users`, preserving shape.
+WorkloadTrace normalize_peak(const WorkloadTrace& trace, double peak_users);
+
+/// Stretches (factor > 1) or compresses the time axis.
+WorkloadTrace stretch_time(const WorkloadTrace& trace, double factor);
+
+/// Plays `first` then `second` (second's first sample follows first's last).
+WorkloadTrace concat(const WorkloadTrace& first, const WorkloadTrace& second);
+
+/// Multiplicative Gaussian jitter per sample, clamped at zero.
+WorkloadTrace add_noise(const WorkloadTrace& trace, double fraction,
+                        std::uint64_t seed);
+
+/// Clamps every sample into [lo, hi].
+WorkloadTrace clamp_users(const WorkloadTrace& trace, double lo, double hi);
+
+}  // namespace conscale

@@ -1,0 +1,182 @@
+#include "analysis/mva.h"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "resources/ps_resource.h"
+#include "simcore/simulation.h"
+
+namespace conscale {
+namespace {
+
+MvaStation queueing(const std::string& name, double demand, int servers = 1) {
+  MvaStation s;
+  s.name = name;
+  s.demand = demand;
+  s.servers = servers;
+  return s;
+}
+
+MvaStation delay(const std::string& name, double demand) {
+  MvaStation s;
+  s.name = name;
+  s.kind = MvaStation::Kind::kDelay;
+  s.demand = demand;
+  return s;
+}
+
+TEST(Mva, RejectsDegenerateInput) {
+  EXPECT_THROW(solve_mva({}, 5), std::invalid_argument);
+  EXPECT_THROW(solve_mva({queueing("x", 1.0)}, 0), std::invalid_argument);
+  EXPECT_THROW(solve_mva({queueing("x", -1.0)}, 5), std::invalid_argument);
+  EXPECT_THROW(solve_mva({queueing("x", 0.0)}, 5), std::invalid_argument);
+}
+
+TEST(Mva, SingleStationSingleJob) {
+  // One job, one queueing station: X = 1/D, R = D.
+  const MvaPoint p = solve_mva_at({queueing("cpu", 0.25)}, 1);
+  EXPECT_NEAR(p.throughput, 4.0, 1e-9);
+  EXPECT_NEAR(p.response_time, 0.25, 1e-9);
+  EXPECT_NEAR(p.queue_lengths[0], 1.0, 1e-9);
+}
+
+TEST(Mva, SingleStationSaturates) {
+  // n jobs at one queueing station: X = 1/D for all n >= 1, R = n*D.
+  const auto curve = solve_mva({queueing("cpu", 0.5)}, 10);
+  for (const auto& p : curve) {
+    EXPECT_NEAR(p.throughput, 2.0, 1e-9) << p.population;
+    EXPECT_NEAR(p.response_time, 0.5 * p.population, 1e-9);
+  }
+}
+
+TEST(Mva, ClassicTwoStationTextbookValues) {
+  // Lazowska-style check: D1=0.2, D2=0.1 (no delay).
+  // n=1: R=0.3, X=3.333..., Q1=2/3, Q2=1/3.
+  // n=2: R1=0.2(1+2/3)=1/3, R2=0.1(1+1/3)=2/15, R=7/15, X=30/7.
+  const std::vector<MvaStation> stations = {queueing("a", 0.2),
+                                            queueing("b", 0.1)};
+  const auto curve = solve_mva(stations, 2);
+  EXPECT_NEAR(curve[0].throughput, 10.0 / 3.0, 1e-9);
+  EXPECT_NEAR(curve[0].queue_lengths[0], 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(curve[1].throughput, 30.0 / 7.0, 1e-9);
+  EXPECT_NEAR(curve[1].response_time, 7.0 / 15.0, 1e-9);
+}
+
+TEST(Mva, DelayStationAddsNoQueueing) {
+  // Classic interactive system: think time Z as a delay station.
+  // X(n) = n / (R(n) + Z); at saturation X -> 1/D.
+  const std::vector<MvaStation> stations = {queueing("cpu", 0.1),
+                                            delay("think", 0.9)};
+  const auto curve = solve_mva(stations, 50);
+  EXPECT_NEAR(curve[0].throughput, 1.0, 1e-9);  // 1/(0.1+0.9)
+  EXPECT_NEAR(curve.back().throughput, 10.0, 0.01);  // saturated at 1/D
+}
+
+TEST(Mva, ThroughputMonotoneWithoutContention) {
+  const std::vector<MvaStation> stations = {
+      queueing("cpu", 0.02), delay("net", 0.2), queueing("disk", 0.01)};
+  const auto curve = solve_mva(stations, 60);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].throughput, curve[i - 1].throughput - 1e-9);
+  }
+}
+
+TEST(Mva, AsymptoticBoundsRespected) {
+  const std::vector<MvaStation> stations = {
+      queueing("cpu", 0.02), delay("net", 0.2), queueing("disk", 0.035)};
+  const auto bounds = asymptotic_bounds(stations);
+  EXPECT_NEAR(bounds.max_throughput, 1.0 / 0.035, 1e-9);
+  const auto curve = solve_mva(stations, 200);
+  for (const auto& p : curve) {
+    EXPECT_LE(p.throughput, bounds.max_throughput + 1e-9);
+    EXPECT_LE(p.throughput,
+              static_cast<double>(p.population) / (0.02 + 0.2 + 0.035) + 1e-9);
+  }
+  // Far past the knee the bound is tight.
+  EXPECT_NEAR(curve.back().throughput, bounds.max_throughput, 0.05);
+}
+
+TEST(Mva, MultiServerRaisesCapacity) {
+  const auto one = solve_mva_at({queueing("cpu", 0.1, 1), delay("z", 0.5)}, 40);
+  const auto two = solve_mva_at({queueing("cpu", 0.1, 2), delay("z", 0.5)}, 40);
+  EXPECT_NEAR(one.throughput, 10.0, 0.2);
+  EXPECT_NEAR(two.throughput, 20.0, 0.8);  // Seidmann is approximate
+}
+
+TEST(Mva, ContentionCreatesDescendingStage) {
+  MvaStation cpu = queueing("cpu", 0.01);
+  cpu.contention = ContentionModel{10.0, 0.05, 1.0};
+  const std::vector<MvaStation> stations = {cpu, delay("z", 0.09)};
+  const auto curve = solve_mva(stations, 80);
+  double tp_max = 0.0;
+  int peak = 0;
+  for (const auto& p : curve) {
+    if (p.throughput > tp_max) {
+      tp_max = p.throughput;
+      peak = p.population;
+    }
+  }
+  // Peak is interior and the tail is clearly below it.
+  EXPECT_GT(peak, 5);
+  EXPECT_LT(peak, 50);
+  EXPECT_LT(curve.back().throughput, 0.9 * tp_max);
+}
+
+TEST(Mva, AnalyticalRangeMatchesKneeIntuition) {
+  // D_bottleneck = 0.01, Z = 0.09: knee ~ (0.01+0.09)/0.01 = 10.
+  const std::vector<MvaStation> stations = {queueing("cpu", 0.01),
+                                            delay("z", 0.09)};
+  const AnalyticalRange range = analytical_range(stations, 100, 0.05);
+  EXPECT_NEAR(range.q_lower, 10, 5);
+  EXPECT_EQ(range.q_upper, 100);  // no contention: plateau runs to the edge
+  EXPECT_NEAR(range.tp_max, 100.0, 2.0);
+  const auto bounds = asymptotic_bounds(stations);
+  EXPECT_NEAR(bounds.knee_population, 10.0, 1e-9);
+}
+
+// Cross-validation: MVA predictions vs the event-driven simulator on the
+// same closed network (N jobs looping over a PS station plus a pure delay).
+class MvaVsSimulation : public ::testing::TestWithParam<int> {};
+
+TEST_P(MvaVsSimulation, ThroughputAgreesWithSimulator) {
+  const int population = GetParam();
+  const double demand = 0.004;
+  const double think = 0.04;
+
+  // Analytical.
+  const MvaPoint predicted =
+      solve_mva_at({queueing("cpu", demand), delay("z", think)}, population);
+
+  // Simulated: N jobs cycling deterministically-seeded exponential demands.
+  Simulation sim;
+  ProcessorSharingResource cpu(sim, 1);
+  Rng rng(42);
+  long completions = 0;
+  std::function<void()> cycle = [&] {
+    ++completions;
+    sim.schedule_after(rng.exponential(think), [&] {
+      cpu.submit(rng.exponential(demand), cycle);
+    });
+  };
+  for (int i = 0; i < population; ++i) {
+    sim.schedule_after(rng.exponential(think),
+                       [&] { cpu.submit(rng.exponential(demand), cycle); });
+  }
+  sim.run_until(50.0);
+  const double measured =
+      static_cast<double>(completions) / 50.0;
+
+  // Exponential service under PS matches product-form MVA: agreement within
+  // a few percent of sampling noise.
+  EXPECT_NEAR(measured, predicted.throughput, 0.06 * predicted.throughput)
+      << "population=" << population;
+}
+
+INSTANTIATE_TEST_SUITE_P(Populations, MvaVsSimulation,
+                         ::testing::Values(1, 2, 5, 10, 20, 40));
+
+}  // namespace
+}  // namespace conscale

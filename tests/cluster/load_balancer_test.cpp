@@ -1,0 +1,146 @@
+#include "cluster/load_balancer.h"
+
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace conscale {
+namespace {
+
+struct LbFixture : ::testing::Test {
+  LbFixture() {
+    cls.name = "c";
+    cls.demand_cv = 0.0;
+    cls.tiers.resize(1);
+    cls.tiers[0].pure_delay = 1.0;
+  }
+
+  Server* add_server(const std::string& name) {
+    Server::Params p;
+    p.name = name;
+    p.thread_pool_size = 100;
+    servers.push_back(std::make_unique<Server>(sim, p));
+    return servers.back().get();
+  }
+
+  RequestContext ctx() {
+    RequestContext c;
+    c.id = next_id++;
+    c.request_class = &cls;
+    return c;
+  }
+
+  Simulation sim;
+  RequestClass cls;
+  std::vector<std::unique_ptr<Server>> servers;
+  std::uint64_t next_id = 1;
+};
+
+TEST_F(LbFixture, ThrowsWithoutBackends) {
+  LoadBalancer lb("lb", LbPolicy::kRoundRobin);
+  EXPECT_THROW(lb.dispatch(ctx(), [] {}), std::runtime_error);
+}
+
+TEST_F(LbFixture, RoundRobinCyclesEvenly) {
+  LoadBalancer lb("lb", LbPolicy::kRoundRobin);
+  Server* a = add_server("a");
+  Server* b = add_server("b");
+  Server* c = add_server("c");
+  lb.add_backend(a);
+  lb.add_backend(b);
+  lb.add_backend(c);
+  for (int i = 0; i < 9; ++i) lb.dispatch(ctx(), [] {});
+  EXPECT_EQ(a->in_flight(), 3u);
+  EXPECT_EQ(b->in_flight(), 3u);
+  EXPECT_EQ(c->in_flight(), 3u);
+  EXPECT_EQ(lb.total_dispatched(), 9u);
+}
+
+TEST_F(LbFixture, LeastConnectionsPrefersIdle) {
+  LoadBalancer lb("lb", LbPolicy::kLeastConnections);
+  Server* a = add_server("a");
+  Server* b = add_server("b");
+  lb.add_backend(a);
+  lb.add_backend(b);
+  // Four requests: leastconn alternates because outstanding counts grow.
+  for (int i = 0; i < 4; ++i) lb.dispatch(ctx(), [] {});
+  EXPECT_EQ(lb.outstanding(a), 2u);
+  EXPECT_EQ(lb.outstanding(b), 2u);
+}
+
+TEST_F(LbFixture, LeastConnectionsRebalancesAfterCompletion) {
+  LoadBalancer lb("lb", LbPolicy::kLeastConnections);
+  Server* a = add_server("a");
+  lb.add_backend(a);
+  lb.dispatch(ctx(), [] {});
+  lb.dispatch(ctx(), [] {});
+  Server* b = add_server("b");
+  lb.add_backend(b);
+  // New server has 0 outstanding: next dispatches go there first.
+  lb.dispatch(ctx(), [] {});
+  lb.dispatch(ctx(), [] {});
+  EXPECT_EQ(lb.outstanding(a), 2u);
+  EXPECT_EQ(lb.outstanding(b), 2u);
+}
+
+TEST_F(LbFixture, OutstandingDecrementsOnCompletion) {
+  LoadBalancer lb("lb", LbPolicy::kLeastConnections);
+  Server* a = add_server("a");
+  lb.add_backend(a);
+  int done = 0;
+  lb.dispatch(ctx(), [&] { ++done; });
+  EXPECT_EQ(lb.outstanding(a), 1u);
+  sim.run_all();
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(lb.outstanding(a), 0u);
+}
+
+TEST_F(LbFixture, RemovedBackendGetsNoNewWork) {
+  LoadBalancer lb("lb", LbPolicy::kRoundRobin);
+  Server* a = add_server("a");
+  Server* b = add_server("b");
+  lb.add_backend(a);
+  lb.add_backend(b);
+  lb.dispatch(ctx(), [] {});
+  lb.remove_backend(a);
+  EXPECT_EQ(lb.backend_count(), 1u);
+  for (int i = 0; i < 4; ++i) lb.dispatch(ctx(), [] {});
+  EXPECT_LE(a->in_flight(), 1u);  // only the pre-removal request
+  EXPECT_GE(b->in_flight(), 4u);
+}
+
+TEST_F(LbFixture, InFlightCompletionAfterRemovalStillAccounted) {
+  LoadBalancer lb("lb", LbPolicy::kLeastConnections);
+  Server* a = add_server("a");
+  lb.add_backend(a);
+  int done = 0;
+  lb.dispatch(ctx(), [&] { ++done; });
+  lb.remove_backend(a);
+  sim.run_all();
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(lb.outstanding(a), 0u);
+}
+
+TEST_F(LbFixture, DuplicateAddIsIgnored) {
+  LoadBalancer lb("lb", LbPolicy::kRoundRobin);
+  Server* a = add_server("a");
+  lb.add_backend(a);
+  lb.add_backend(a);
+  EXPECT_EQ(lb.backend_count(), 1u);
+}
+
+TEST_F(LbFixture, PolicySwitchAtRuntime) {
+  LoadBalancer lb("lb", LbPolicy::kRoundRobin);
+  EXPECT_EQ(lb.policy(), LbPolicy::kRoundRobin);
+  lb.set_policy(LbPolicy::kLeastConnections);
+  EXPECT_EQ(lb.policy(), LbPolicy::kLeastConnections);
+}
+
+TEST(LbPolicyNames, ToString) {
+  EXPECT_EQ(to_string(LbPolicy::kRoundRobin), "roundrobin");
+  EXPECT_EQ(to_string(LbPolicy::kLeastConnections), "leastconn");
+}
+
+}  // namespace
+}  // namespace conscale

@@ -1,0 +1,130 @@
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "common/csv.h"
+
+namespace conscale {
+namespace {
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  csv.row({1.0, 2.5});
+  csv.row({3.0, 4.0});
+  EXPECT_EQ(out.str(), "a,b\n1,2.5\n3,4\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.raw_row({"plain", "has,comma", "has\"quote", "multi\nline"});
+  EXPECT_EQ(out.str(),
+            "plain,\"has,comma\",\"has\"\"quote\",\"multi\nline\"\n");
+}
+
+TEST(Csv, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+TEST(Csv, WritesToFile) {
+  const std::string path = ::testing::TempDir() + "/csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.header({"x"});
+    csv.row({42.0});
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "x\n42\n");
+  std::remove(path.c_str());
+}
+
+TEST(Config, ParsesKeyValueArgs) {
+  const char* argv[] = {"prog", "alpha=1.5", "--name=test", "positional"};
+  const Config c = Config::from_args(4, argv);
+  EXPECT_DOUBLE_EQ(c.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(c.get_string("name"), "test");
+  ASSERT_EQ(c.positional().size(), 1u);
+  EXPECT_EQ(c.positional()[0], "positional");
+}
+
+TEST(Config, FallbacksWhenMissing) {
+  const Config c;
+  EXPECT_EQ(c.get_string("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(c.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(c.get_int("missing", 7), 7);
+  EXPECT_TRUE(c.get_bool("missing", true));
+  EXPECT_FALSE(c.contains("missing"));
+}
+
+TEST(Config, BoolParsing) {
+  Config c;
+  c.set("t1", "true");
+  c.set("t2", "Yes");
+  c.set("t3", "1");
+  c.set("f1", "off");
+  c.set("bad", "maybe");
+  EXPECT_TRUE(c.get_bool("t1", false));
+  EXPECT_TRUE(c.get_bool("t2", false));
+  EXPECT_TRUE(c.get_bool("t3", false));
+  EXPECT_FALSE(c.get_bool("f1", true));
+  EXPECT_THROW(c.get_bool("bad", false), std::runtime_error);
+}
+
+TEST(Config, NumericParseErrors) {
+  Config c;
+  c.set("x", "notanumber");
+  EXPECT_THROW(c.get_double("x", 0.0), std::runtime_error);
+  EXPECT_THROW(c.get_int("x", 0), std::runtime_error);
+}
+
+TEST(Config, FileParsingWithComments) {
+  const std::string path = ::testing::TempDir() + "/config_test.ini";
+  {
+    std::ofstream out(path);
+    out << "# comment line\n"
+        << "duration = 720   # trailing comment\n"
+        << "\n"
+        << "trace=big_spike\n";
+  }
+  const Config c = Config::from_file(path);
+  EXPECT_EQ(c.get_int("duration", 0), 720);
+  EXPECT_EQ(c.get_string("trace"), "big_spike");
+  std::remove(path.c_str());
+}
+
+TEST(Config, FileMissingThrows) {
+  EXPECT_THROW(Config::from_file("/no/such/file.ini"), std::runtime_error);
+}
+
+TEST(Config, MalformedFileLineThrows) {
+  const std::string path = ::testing::TempDir() + "/bad_config.ini";
+  {
+    std::ofstream out(path);
+    out << "this line has no equals\n";
+  }
+  EXPECT_THROW(Config::from_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Config, MergeOverrides) {
+  Config base, overlay;
+  base.set("a", "1");
+  base.set("b", "2");
+  overlay.set("b", "20");
+  overlay.set("c", "30");
+  base.merge(overlay);
+  EXPECT_EQ(base.get_int("a", 0), 1);
+  EXPECT_EQ(base.get_int("b", 0), 20);
+  EXPECT_EQ(base.get_int("c", 0), 30);
+}
+
+}  // namespace
+}  // namespace conscale

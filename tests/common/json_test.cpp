@@ -1,0 +1,107 @@
+#include "common/json.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace conscale {
+namespace {
+
+std::string build(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  body(json);
+  return out.str();
+}
+
+TEST(Json, SimpleObject) {
+  const std::string doc = build([](JsonWriter& j) {
+    j.begin_object();
+    j.key("name").value("run");
+    j.key("count").value(std::uint64_t{3});
+    j.key("ok").value(true);
+    j.key("missing").null();
+    j.end_object();
+  });
+  EXPECT_EQ(doc, R"({"name":"run","count":3,"ok":true,"missing":null})");
+}
+
+TEST(Json, NestedContainers) {
+  const std::string doc = build([](JsonWriter& j) {
+    j.begin_object();
+    j.key("points").begin_array();
+    j.value(1.5);
+    j.begin_object();
+    j.key("x").value(2);
+    j.end_object();
+    j.end_array();
+    j.end_object();
+  });
+  EXPECT_EQ(doc, R"({"points":[1.5,{"x":2}]})");
+}
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  const std::string doc = build([](JsonWriter& j) {
+    j.begin_array();
+    j.value(std::numeric_limits<double>::quiet_NaN());
+    j.value(std::numeric_limits<double>::infinity());
+    j.end_array();
+  });
+  EXPECT_EQ(doc, "[null,null]");
+}
+
+TEST(Json, RootScalarCompletesDocument) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.value(42);
+  EXPECT_TRUE(json.complete());
+  EXPECT_EQ(out.str(), "42");
+  EXPECT_THROW(json.value(1), std::logic_error);
+}
+
+TEST(Json, MisuseThrows) {
+  std::ostringstream out;
+  {
+    JsonWriter j(out);
+    j.begin_object();
+    EXPECT_THROW(j.value(1), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter j(out);
+    j.begin_array();
+    EXPECT_THROW(j.key("x"), std::logic_error);  // key in array
+  }
+  {
+    JsonWriter j(out);
+    j.begin_object();
+    j.key("x");
+    EXPECT_THROW(j.key("y"), std::logic_error);  // key after key
+    EXPECT_THROW(j.end_object(), std::logic_error);  // dangling key
+  }
+  {
+    JsonWriter j(out);
+    j.begin_object();
+    EXPECT_THROW(j.end_array(), std::logic_error);  // mismatched close
+  }
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(build([](JsonWriter& j) {
+              j.begin_object();
+              j.end_object();
+            }),
+            "{}");
+  EXPECT_EQ(build([](JsonWriter& j) {
+              j.begin_array();
+              j.end_array();
+            }),
+            "[]");
+}
+
+}  // namespace
+}  // namespace conscale

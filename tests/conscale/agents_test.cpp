@@ -1,0 +1,100 @@
+#include "conscale/agents.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace conscale {
+namespace {
+
+using testing::Harness;
+
+TEST(HardwareAgent, ScaleOutStartsProvisioningAndLogs) {
+  Harness h;
+  h.sim.run_until(0.1);
+  HardwareAgent agent(h.sim, h.system);
+  EXPECT_TRUE(agent.scale_out(kAppTier));
+  EXPECT_EQ(h.system.tier(kAppTier).provisioning_vms(), 1u);
+  ASSERT_EQ(agent.events().size(), 1u);
+  EXPECT_EQ(agent.events()[0].tier, "Tomcat");
+  EXPECT_EQ(agent.events()[0].action, "scale-out");
+  EXPECT_DOUBLE_EQ(agent.events()[0].value, 2.0);
+}
+
+TEST(HardwareAgent, ScaleOutFailsAtMax) {
+  ScenarioParams p = testing::small_scenario();
+  p.app_max = 1;
+  Harness h(p);
+  h.sim.run_until(0.1);
+  HardwareAgent agent(h.sim, h.system);
+  EXPECT_FALSE(agent.scale_out(kAppTier));
+  EXPECT_TRUE(agent.events().empty());
+}
+
+TEST(HardwareAgent, ScaleInFailsAtMin) {
+  Harness h;
+  h.sim.run_until(0.1);
+  HardwareAgent agent(h.sim, h.system);
+  EXPECT_FALSE(agent.scale_in(kDbTier));
+}
+
+TEST(HardwareAgent, ScaleInDrainsNewest) {
+  Harness h;
+  h.sim.run_until(0.1);
+  HardwareAgent agent(h.sim, h.system);
+  agent.scale_out(kDbTier);
+  h.sim.run_until(10.0);
+  EXPECT_EQ(h.system.tier(kDbTier).running_vms(), 2u);
+  EXPECT_TRUE(agent.scale_in(kDbTier));
+  h.sim.run_until(11.0);
+  EXPECT_EQ(h.system.tier(kDbTier).running_vms(), 1u);
+  EXPECT_EQ(agent.events().back().action, "scale-in");
+}
+
+TEST(HardwareAgent, VerticalScalingEventAndEffect) {
+  Harness h;
+  h.sim.run_until(0.1);
+  HardwareAgent agent(h.sim, h.system);
+  EXPECT_TRUE(agent.scale_vertical(kDbTier, 2));
+  EXPECT_EQ(h.system.tier(kDbTier).cores(), 2);
+  ASSERT_EQ(agent.events().size(), 1u);
+  EXPECT_EQ(agent.events()[0].action, "scale-vertical");
+  EXPECT_DOUBLE_EQ(agent.events()[0].value, 2.0);
+  EXPECT_FALSE(agent.scale_vertical(kDbTier, 0));
+}
+
+TEST(SoftwareAgent, ThreadResizeAppliesAfterActuationDelay) {
+  Harness h;
+  h.sim.run_until(0.1);
+  SoftwareAgent agent(h.sim, h.system);
+  agent.set_tier_threads(kAppTier, 25);
+  // Not yet applied: the JMX call is in flight.
+  EXPECT_NE(h.system.tier(kAppTier).thread_pool_size(), 25u);
+  h.sim.run_until(0.3);
+  EXPECT_EQ(h.system.tier(kAppTier).thread_pool_size(), 25u);
+  ASSERT_EQ(agent.events().size(), 1u);
+  EXPECT_EQ(agent.events()[0].action, "threads");
+  EXPECT_DOUBLE_EQ(agent.events()[0].value, 25.0);
+}
+
+TEST(SoftwareAgent, DownstreamPoolResize) {
+  Harness h;
+  h.sim.run_until(0.1);
+  SoftwareAgent agent(h.sim, h.system);
+  agent.set_tier_downstream_pool(kAppTier, 12);
+  h.sim.run_until(0.3);
+  EXPECT_EQ(h.system.tier(kAppTier).downstream_pool_size(), 12u);
+  EXPECT_EQ(agent.events()[0].action, "dbconn");
+}
+
+TEST(SoftwareAgent, IdempotentSettingsProduceNoEvents) {
+  Harness h;
+  h.sim.run_until(0.1);
+  SoftwareAgent agent(h.sim, h.system);
+  const std::size_t current = h.system.tier(kAppTier).thread_pool_size();
+  agent.set_tier_threads(kAppTier, current);
+  EXPECT_TRUE(agent.events().empty());
+}
+
+}  // namespace
+}  // namespace conscale

@@ -1,0 +1,195 @@
+#include "conscale/estimator_service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "test_helpers.h"
+
+namespace conscale {
+namespace {
+
+using testing::Harness;
+
+// Feeds synthetic 50 ms samples for a server into the warehouse: a classic
+// three-stage curve, so the service has real structure to estimate.
+void feed_curve(MetricsWarehouse& warehouse, const std::string& server,
+                int q_knee, int q_fall, double tp_max, int q_max,
+                std::uint64_t seed = 5) {
+  Rng rng(seed);
+  SimTime t = 0.0;
+  for (int rep = 0; rep < 20; ++rep) {
+    for (int q = 1; q <= q_max; ++q) {
+      IntervalSample s;
+      s.t_end = (t += 0.05);
+      s.concurrency = q;
+      double tp;
+      if (q <= q_knee) {
+        tp = tp_max * q / q_knee;
+      } else if (q <= q_fall) {
+        tp = tp_max;
+      } else {
+        // Steep enough that the descending stage is unambiguous
+        // under the estimator's practical-floor + t-test evidence rule.
+        tp = tp_max * (1.0 - 0.02 * (q - q_fall));
+      }
+      s.throughput = rng.normal(tp, 0.03 * tp_max);
+      s.completions = 5;
+      s.mean_rt = 0.01;
+      warehouse.record_server(server, s);
+    }
+  }
+}
+
+TEST(EstimatorService, NoEstimateWithoutData) {
+  Harness h;
+  EstimatorServiceParams params;
+  ConcurrencyEstimatorService service(h.sim, h.system, *h.warehouse, params);
+  h.sim.run_until(0.1);
+  service.refresh_now();
+  EXPECT_FALSE(service.tier_estimate("MySQL").has_value());
+  EXPECT_TRUE(service.history().empty());
+}
+
+TEST(EstimatorService, EstimatesTierFromServerWindows) {
+  Harness h;
+  h.sim.run_until(0.1);
+  EstimatorServiceParams params;
+  params.window = 1e9;  // everything
+  ConcurrencyEstimatorService service(h.sim, h.system, *h.warehouse, params);
+  feed_curve(*h.warehouse, "MySQL1", 15, 30, 5000.0, 60);
+  h.sim.run_for(100.0);
+  service.refresh_now();
+  const auto estimate = service.tier_estimate("MySQL");
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_NEAR(estimate->q_lower, 15, 3);
+  EXPECT_FALSE(service.history().empty());
+}
+
+TEST(EstimatorService, RightCensoredWindowDoesNotUpdateCache) {
+  Harness h;
+  h.sim.run_until(0.1);
+  EstimatorServiceParams params;
+  params.window = 1e9;
+  ConcurrencyEstimatorService service(h.sim, h.system, *h.warehouse, params);
+  // Ascending-then-plateau only (no descending stage observed).
+  feed_curve(*h.warehouse, "MySQL1", 15, 100, 5000.0, 40);
+  h.sim.run_for(100.0);  // move past the synthetic samples' timestamps
+  service.refresh_now();
+  EXPECT_FALSE(service.tier_estimate("MySQL").has_value());
+}
+
+TEST(EstimatorService, SmoothingBlendsSuccessiveEstimates) {
+  Harness h;
+  h.sim.run_until(0.1);
+  EstimatorServiceParams params;
+  params.window = 120.0;
+  params.smoothing = 0.5;
+  params.refresh = 1e9;  // only the explicit refresh_now() calls below
+  ConcurrencyEstimatorService service(h.sim, h.system, *h.warehouse, params);
+  feed_curve(*h.warehouse, "MySQL1", 10, 30, 5000.0, 60, 5);
+  h.sim.run_for(100.0);  // move past the synthetic samples' timestamps
+  service.refresh_now();
+  const auto first = service.tier_estimate("MySQL");
+  ASSERT_TRUE(first.has_value());
+  // Advance time so the old samples age out, then feed a shifted curve.
+  h.sim.run_for(500.0);
+  Rng rng(9);
+  SimTime t = h.sim.now() - 100.0;
+  for (int rep = 0; rep < 20; ++rep) {
+    for (int q = 1; q <= 60; ++q) {
+      IntervalSample s;
+      s.t_end = (t += 0.05);
+      s.concurrency = q;
+      const double tp = q <= 20   ? 5000.0 * q / 20.0
+                        : q <= 40 ? 5000.0
+                                  : 5000.0 * (1.0 - 0.03 * (q - 40));
+      s.throughput = rng.normal(tp, 100.0);
+      s.completions = 5;
+      h.warehouse->record_server("MySQL1", s);
+    }
+  }
+  service.refresh_now();
+  const auto blended = service.tier_estimate("MySQL");
+  ASSERT_TRUE(blended.has_value());
+  // Halfway between the old knee (~10) and the new (~20).
+  EXPECT_GT(blended->q_lower, first->q_lower + 1);
+  EXPECT_LT(blended->q_lower, 20);
+}
+
+TEST(EstimatorService, CensoredEdgeSurvivesBlending) {
+  // Once any blended-in estimate had a censored plateau edge, the cached
+  // range must stay censored (the policy must not clamp to it).
+  Harness h;
+  h.sim.run_until(0.1);
+  EstimatorServiceParams params;
+  params.window = 120.0;
+  params.smoothing = 0.5;
+  params.refresh = 1e9;
+  ConcurrencyEstimatorService service(h.sim, h.system, *h.warehouse, params);
+  // First window: full three-stage curve, contiguous through the knee.
+  feed_curve(*h.warehouse, "MySQL1", 12, 25, 5000.0, 60);
+  h.sim.run_for(100.0);
+  service.refresh_now();
+  auto first = service.tier_estimate("MySQL");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(first->q_upper_censored);
+  // Second window: ascending + a far-away degraded blob (gap after the
+  // plateau) -> censored edge, descending still observed.
+  h.sim.run_for(500.0);
+  Rng rng(17);
+  SimTime t = h.sim.now() - 100.0;
+  for (int rep = 0; rep < 30; ++rep) {
+    for (int q = 1; q <= 14; ++q) {
+      IntervalSample s;
+      s.t_end = (t += 0.05);
+      s.concurrency = q;
+      s.throughput = rng.normal(5000.0 * std::min(q, 12) / 12.0, 120.0);
+      s.completions = 5;
+      h.warehouse->record_server("MySQL1", s);
+    }
+    IntervalSample blob;
+    blob.t_end = (t += 0.05);
+    blob.concurrency = 80;
+    blob.throughput = rng.normal(1800.0, 120.0);
+    blob.completions = 5;
+    h.warehouse->record_server("MySQL1", blob);
+  }
+  service.refresh_now();
+  auto blended = service.tier_estimate("MySQL");
+  ASSERT_TRUE(blended.has_value());
+  EXPECT_TRUE(blended->q_upper_censored);
+}
+
+TEST(EstimatorService, PeriodicRefreshRuns) {
+  Harness h;
+  EstimatorServiceParams params;
+  params.refresh = 5.0;
+  params.window = 1e9;
+  ConcurrencyEstimatorService service(h.sim, h.system, *h.warehouse, params);
+  feed_curve(*h.warehouse, "Tomcat1", 12, 30, 1000.0, 60);
+  h.sim.run_until(66.0);  // periodic refreshes at t=5,10,...,65
+  EXPECT_TRUE(service.tier_estimate("Tomcat").has_value());
+}
+
+TEST(EstimatorService, MergesReplicasOfATier) {
+  Harness h;
+  h.sim.run_until(0.1);
+  h.system.tier(kDbTier).scale_out();
+  h.sim.run_until(10.0);
+  ASSERT_EQ(h.system.tier(kDbTier).running_vms(), 2u);
+  EstimatorServiceParams params;
+  params.window = 1e9;
+  ConcurrencyEstimatorService service(h.sim, h.system, *h.warehouse, params);
+  // Each replica alone has too few samples per bucket; merged they succeed.
+  feed_curve(*h.warehouse, "MySQL1", 15, 30, 5000.0, 60);
+  feed_curve(*h.warehouse, "MySQL2", 15, 30, 5000.0, 60, 99);
+  h.sim.run_for(100.0);  // move past the synthetic samples' timestamps
+  service.refresh_now();
+  ASSERT_TRUE(service.tier_estimate("MySQL").has_value());
+  EXPECT_GT(service.tier_estimate("MySQL")->samples_used, 1200u);
+}
+
+}  // namespace
+}  // namespace conscale

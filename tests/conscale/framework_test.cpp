@@ -1,0 +1,81 @@
+#include "conscale/framework.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace conscale {
+namespace {
+
+using testing::Harness;
+
+FrameworkConfig basic_config() {
+  FrameworkConfig config;
+  config.targets.thread_adapt_tiers = {kAppTier};
+  config.targets.conn_adapt = {{kAppTier, kDbTier}};
+  return config;
+}
+
+TEST(FrameworkKindNames, ToString) {
+  EXPECT_EQ(to_string(FrameworkKind::kEc2AutoScaling), "EC2-AutoScaling");
+  EXPECT_EQ(to_string(FrameworkKind::kDcm), "DCM");
+  EXPECT_EQ(to_string(FrameworkKind::kConScale), "ConScale");
+}
+
+TEST(ScalingFramework, Ec2HasNoEstimatorService) {
+  Harness h;
+  ScalingFramework framework(h.sim, h.system, *h.warehouse,
+                             FrameworkKind::kEc2AutoScaling, basic_config());
+  EXPECT_EQ(framework.estimator_service(), nullptr);
+  EXPECT_EQ(framework.name(), "EC2-AutoScaling");
+  EXPECT_EQ(framework.kind(), FrameworkKind::kEc2AutoScaling);
+}
+
+TEST(ScalingFramework, DcmHasNoEstimatorService) {
+  Harness h;
+  FrameworkConfig config = basic_config();
+  config.dcm_profile.tier_optimal_concurrency[kAppTier] = 20;
+  ScalingFramework framework(h.sim, h.system, *h.warehouse,
+                             FrameworkKind::kDcm, config);
+  EXPECT_EQ(framework.estimator_service(), nullptr);
+  EXPECT_EQ(framework.name(), "DCM");
+}
+
+TEST(ScalingFramework, ConScaleHasEstimatorService) {
+  Harness h;
+  ScalingFramework framework(h.sim, h.system, *h.warehouse,
+                             FrameworkKind::kConScale, basic_config());
+  EXPECT_NE(framework.estimator_service(), nullptr);
+  EXPECT_EQ(framework.name(), "ConScale");
+}
+
+TEST(ScalingFramework, AllEventsMergedAndSorted) {
+  Harness h;
+  ScalingFramework framework(h.sim, h.system, *h.warehouse,
+                             FrameworkKind::kConScale, basic_config());
+  h.sim.run_until(0.1);
+  // Interleave hardware and soft actions.
+  framework.software_agent().set_tier_threads(kAppTier, 30);
+  framework.hardware_agent().scale_out(kDbTier);
+  h.sim.run_for(5.0);
+  framework.software_agent().set_tier_threads(kAppTier, 25);
+  const auto events = framework.all_events();
+  ASSERT_GE(events.size(), 3u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].t, events[i].t);
+  }
+}
+
+TEST(ScalingFramework, RunsQuietlyWithoutLoad) {
+  // A framework on an idle system must not scale or crash.
+  Harness h;
+  ScalingFramework framework(h.sim, h.system, *h.warehouse,
+                             FrameworkKind::kConScale, basic_config());
+  h.sim.run_until(60.0);
+  EXPECT_EQ(framework.controller().scale_out_count(), 0u);
+  EXPECT_EQ(framework.controller().scale_in_count(), 0u);
+  EXPECT_EQ(h.system.total_billed_vms(), 3u);
+}
+
+}  // namespace
+}  // namespace conscale

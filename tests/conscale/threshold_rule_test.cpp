@@ -1,0 +1,95 @@
+#include "conscale/threshold_rule.h"
+
+#include <gtest/gtest.h>
+
+namespace conscale {
+namespace {
+
+ThresholdRuleParams quick_params() {
+  ThresholdRuleParams p;
+  p.scale_out_threshold = 0.80;
+  p.scale_in_threshold = 0.30;
+  p.out_sustain_ticks = 2;
+  p.in_sustain_ticks = 4;
+  p.cooldown = 10.0;
+  return p;
+}
+
+TEST(ThresholdRule, ScaleOutNeedsSustainedHotTicks) {
+  ThresholdRule rule(quick_params());
+  EXPECT_EQ(rule.evaluate(1.0, 0.9, false), ScalingDirection::kNone);
+  EXPECT_EQ(rule.evaluate(2.0, 0.9, false), ScalingDirection::kOut);
+}
+
+TEST(ThresholdRule, HotStreakResetByNormalSample) {
+  ThresholdRule rule(quick_params());
+  rule.evaluate(1.0, 0.9, false);
+  rule.evaluate(2.0, 0.5, false);  // back to normal
+  EXPECT_EQ(rule.evaluate(3.0, 0.9, false), ScalingDirection::kNone);
+  EXPECT_EQ(rule.evaluate(4.0, 0.9, false), ScalingDirection::kOut);
+}
+
+TEST(ThresholdRule, ScaleInIsSlow) {
+  ThresholdRule rule(quick_params());
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_EQ(rule.evaluate(i, 0.1, false), ScalingDirection::kNone) << i;
+  }
+  EXPECT_EQ(rule.evaluate(4.0, 0.1, false), ScalingDirection::kIn);
+}
+
+TEST(ThresholdRule, QuickStartSlowStopAsymmetry) {
+  const ThresholdRuleParams p = quick_params();
+  EXPECT_LT(p.out_sustain_ticks, p.in_sustain_ticks);
+}
+
+TEST(ThresholdRule, MidRangeUtilizationResetsBothCounters) {
+  ThresholdRule rule(quick_params());
+  rule.evaluate(1.0, 0.9, false);
+  rule.evaluate(2.0, 0.1, false);
+  rule.evaluate(3.0, 0.1, false);
+  rule.evaluate(4.0, 0.5, false);  // mid-range resets the cold streak
+  rule.evaluate(5.0, 0.1, false);
+  rule.evaluate(6.0, 0.1, false);
+  rule.evaluate(7.0, 0.1, false);
+  EXPECT_EQ(rule.evaluate(8.0, 0.1, false), ScalingDirection::kIn);
+}
+
+TEST(ThresholdRule, CooldownSuppressesActions) {
+  ThresholdRule rule(quick_params());
+  rule.evaluate(1.0, 0.9, false);
+  EXPECT_EQ(rule.evaluate(2.0, 0.9, false), ScalingDirection::kOut);
+  rule.on_action(2.0);  // cooldown until 12.0
+  for (double t = 3.0; t < 12.0; t += 1.0) {
+    EXPECT_EQ(rule.evaluate(t, 0.95, false), ScalingDirection::kNone) << t;
+  }
+  EXPECT_EQ(rule.evaluate(12.0, 0.95, false), ScalingDirection::kNone);
+  EXPECT_EQ(rule.evaluate(13.0, 0.95, false), ScalingDirection::kOut);
+}
+
+TEST(ThresholdRule, BlockedPausesEvaluation) {
+  ThresholdRule rule(quick_params());
+  rule.evaluate(1.0, 0.9, false);
+  // Blocked (e.g. a VM is provisioning): no action and the streak resets.
+  EXPECT_EQ(rule.evaluate(2.0, 0.9, true), ScalingDirection::kNone);
+  EXPECT_EQ(rule.evaluate(3.0, 0.9, false), ScalingDirection::kNone);
+  EXPECT_EQ(rule.evaluate(4.0, 0.9, false), ScalingDirection::kOut);
+}
+
+TEST(ThresholdRule, BoundaryValuesInclusive) {
+  ThresholdRule rule(quick_params());
+  // Exactly at the thresholds counts as hot/cold.
+  rule.evaluate(1.0, 0.80, false);
+  EXPECT_EQ(rule.evaluate(2.0, 0.80, false), ScalingDirection::kOut);
+  ThresholdRule rule2(quick_params());
+  for (int i = 1; i <= 3; ++i) rule2.evaluate(i, 0.30, false);
+  EXPECT_EQ(rule2.evaluate(4.0, 0.30, false), ScalingDirection::kIn);
+}
+
+TEST(ThresholdRule, DirectionToString) {
+  EXPECT_EQ(to_string(ScalingDirection::kNone), "none");
+  EXPECT_EQ(to_string(ScalingDirection::kOut), "scale-out");
+  EXPECT_EQ(to_string(ScalingDirection::kIn), "scale-in");
+}
+
+}  // namespace
+}  // namespace conscale

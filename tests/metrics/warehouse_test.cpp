@@ -1,0 +1,102 @@
+#include "metrics/warehouse.h"
+
+#include <gtest/gtest.h>
+
+namespace conscale {
+namespace {
+
+IntervalSample sample_at(SimTime t, double q = 1.0) {
+  IntervalSample s;
+  s.t_end = t;
+  s.concurrency = q;
+  s.throughput = 100.0;
+  s.completions = 5;
+  return s;
+}
+
+TEST(Warehouse, EmptySeriesForUnknownServer) {
+  MetricsWarehouse w;
+  EXPECT_TRUE(w.server_series("nope").empty());
+  EXPECT_TRUE(w.tier_series("nope").empty());
+  EXPECT_TRUE(w.server_names().empty());
+}
+
+TEST(Warehouse, RecordsAndListsServers) {
+  MetricsWarehouse w;
+  w.record_server("MySQL1", sample_at(0.05));
+  w.record_server("Tomcat1", sample_at(0.05));
+  w.record_server("MySQL1", sample_at(0.10));
+  EXPECT_EQ(w.server_series("MySQL1").size(), 2u);
+  EXPECT_EQ(w.server_names(), (std::vector<std::string>{"MySQL1", "Tomcat1"}));
+}
+
+TEST(Warehouse, WindowSelectsHalfOpenInterval) {
+  MetricsWarehouse w;
+  for (int i = 1; i <= 10; ++i) {
+    w.record_server("s", sample_at(static_cast<double>(i)));
+  }
+  // Window (now - 3, now] with now = 10 -> samples at 8, 9, 10.
+  const auto window = w.server_window("s", 3.0, 10.0);
+  ASSERT_EQ(window.size(), 3u);
+  EXPECT_DOUBLE_EQ(window.front().t_end, 8.0);
+  EXPECT_DOUBLE_EQ(window.back().t_end, 10.0);
+}
+
+TEST(Warehouse, WindowExcludesFutureSamples) {
+  MetricsWarehouse w;
+  for (int i = 1; i <= 10; ++i) {
+    w.record_server("s", sample_at(static_cast<double>(i)));
+  }
+  const auto window = w.server_window("s", 100.0, 5.0);
+  ASSERT_EQ(window.size(), 5u);
+  EXPECT_DOUBLE_EQ(window.back().t_end, 5.0);
+}
+
+TEST(Warehouse, WindowOnEmptySeries) {
+  MetricsWarehouse w;
+  EXPECT_TRUE(w.server_window("s", 10.0, 100.0).empty());
+}
+
+TEST(Warehouse, LatestTierDefaultsWhenEmpty) {
+  MetricsWarehouse w;
+  const TierSample s = w.latest_tier("Tomcat");
+  EXPECT_DOUBLE_EQ(s.avg_cpu_utilization, 0.0);
+  EXPECT_EQ(s.billed_vms, 0u);
+}
+
+TEST(Warehouse, LatestTierReturnsNewest) {
+  MetricsWarehouse w;
+  TierSample a;
+  a.t = 1.0;
+  a.avg_cpu_utilization = 0.5;
+  TierSample b;
+  b.t = 2.0;
+  b.avg_cpu_utilization = 0.9;
+  w.record_tier("Tomcat", a);
+  w.record_tier("Tomcat", b);
+  EXPECT_DOUBLE_EQ(w.latest_tier("Tomcat").avg_cpu_utilization, 0.9);
+}
+
+TEST(Warehouse, SystemSeriesAppends) {
+  MetricsWarehouse w;
+  SystemSample s;
+  s.t = 1.0;
+  s.throughput = 1000.0;
+  w.record_system(s);
+  ASSERT_EQ(w.system_series().size(), 1u);
+  EXPECT_DOUBLE_EQ(w.system_series()[0].throughput, 1000.0);
+}
+
+TEST(Warehouse, ClearEmptiesEverything) {
+  MetricsWarehouse w;
+  w.record_server("s", sample_at(1.0));
+  w.record_tier("t", TierSample{});
+  w.record_system(SystemSample{});
+  w.clear();
+  EXPECT_TRUE(w.server_series("s").empty());
+  EXPECT_TRUE(w.tier_series("t").empty());
+  EXPECT_TRUE(w.system_series().empty());
+}
+
+}  // namespace
+}  // namespace conscale

@@ -1,0 +1,136 @@
+#include "resources/fcfs_resource.h"
+#include <functional>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace conscale {
+namespace {
+
+TEST(FcfsResource, SingleChannelServesInOrder) {
+  Simulation sim;
+  FcfsResource disk(sim, 1);
+  std::vector<int> order;
+  std::vector<double> times;
+  disk.submit(1.0, [&] { order.push_back(1); times.push_back(sim.now()); });
+  disk.submit(2.0, [&] { order.push_back(2); times.push_back(sim.now()); });
+  disk.submit(0.5, [&] { order.push_back(3); times.push_back(sim.now()); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+  EXPECT_DOUBLE_EQ(times[2], 3.5);
+}
+
+TEST(FcfsResource, NoPreemptionUnlikePs) {
+  Simulation sim;
+  FcfsResource disk(sim, 1);
+  double long_done = -1, short_done = -1;
+  disk.submit(2.0, [&] { long_done = sim.now(); });
+  sim.schedule_at(0.5, [&] {
+    disk.submit(0.1, [&] { short_done = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(long_done, 2.0);    // keeps the channel
+  EXPECT_DOUBLE_EQ(short_done, 2.1);   // waits its turn
+}
+
+TEST(FcfsResource, MultiChannelParallelism) {
+  Simulation sim;
+  FcfsResource disk(sim, 2);
+  std::vector<double> times;
+  for (int i = 0; i < 4; ++i) {
+    disk.submit(1.0, [&] { times.push_back(sim.now()); });
+  }
+  sim.run_all();
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.0);
+  EXPECT_DOUBLE_EQ(times[2], 2.0);
+  EXPECT_DOUBLE_EQ(times[3], 2.0);
+}
+
+TEST(FcfsResource, SpeedDividesServiceTime) {
+  Simulation sim;
+  FcfsResource disk(sim, 1, 4.0);
+  double done = -1;
+  disk.submit(1.0, [&] { done = sim.now(); });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(done, 0.25);
+}
+
+TEST(FcfsResource, QueueAndBusyCounters) {
+  Simulation sim;
+  FcfsResource disk(sim, 1);
+  disk.submit(1.0, [] {});
+  disk.submit(1.0, [] {});
+  disk.submit(1.0, [] {});
+  EXPECT_EQ(disk.busy_channels(), 1u);
+  EXPECT_EQ(disk.queued(), 2u);
+  EXPECT_EQ(disk.active_jobs(), 3u);
+  sim.run_until(1.5);
+  EXPECT_EQ(disk.busy_channels(), 1u);
+  EXPECT_EQ(disk.queued(), 1u);
+  sim.run_all();
+  EXPECT_EQ(disk.active_jobs(), 0u);
+}
+
+TEST(FcfsResource, BusyChannelSecondsIntegration) {
+  Simulation sim;
+  FcfsResource disk(sim, 1);
+  disk.submit(2.0, [] {});
+  disk.submit(3.0, [] {});
+  sim.run_all();
+  EXPECT_NEAR(disk.busy_channel_seconds(), 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(FcfsResource, BusyAccountingMidService) {
+  Simulation sim;
+  FcfsResource disk(sim, 1);
+  disk.submit(10.0, [] {});
+  sim.run_until(4.0);
+  EXPECT_NEAR(disk.busy_channel_seconds(), 4.0, 1e-9);
+}
+
+TEST(FcfsResource, AddChannelsDrainsQueue) {
+  Simulation sim;
+  FcfsResource disk(sim, 1);
+  std::vector<double> times;
+  for (int i = 0; i < 3; ++i) {
+    disk.submit(2.0, [&] { times.push_back(sim.now()); });
+  }
+  sim.schedule_at(1.0, [&] { disk.set_channels(3); });
+  sim.run_all();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 2.0);  // started at 0
+  EXPECT_DOUBLE_EQ(times[1], 3.0);  // started at 1 after expansion
+  EXPECT_DOUBLE_EQ(times[2], 3.0);
+}
+
+TEST(FcfsResource, CompletionCallbackMayResubmit) {
+  Simulation sim;
+  FcfsResource disk(sim, 1);
+  int count = 0;
+  std::function<void()> next = [&] {
+    if (++count < 3) disk.submit(1.0, next);
+  };
+  disk.submit(1.0, next);
+  sim.run_all();
+  EXPECT_EQ(count, 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(FcfsResource, ZeroWorkStillFifo) {
+  Simulation sim;
+  FcfsResource disk(sim, 1);
+  std::vector<int> order;
+  disk.submit(0.0, [&] { order.push_back(1); });
+  disk.submit(0.0, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace conscale

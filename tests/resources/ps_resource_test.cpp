@@ -1,0 +1,254 @@
+#include "resources/ps_resource.h"
+#include "common/rng.h"
+#include <functional>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace conscale {
+namespace {
+
+TEST(PsResource, SingleJobRunsAtFullSpeed) {
+  Simulation sim;
+  ProcessorSharingResource cpu(sim, 1);
+  double completed_at = -1.0;
+  cpu.submit(2.0, [&] { completed_at = sim.now(); });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(completed_at, 2.0);
+  EXPECT_NEAR(cpu.work_done(), 2.0, 1e-9);
+}
+
+TEST(PsResource, SpeedScalesServiceTime) {
+  Simulation sim;
+  ProcessorSharingResource cpu(sim, 1, 4.0);
+  double completed_at = -1.0;
+  cpu.submit(2.0, [&] { completed_at = sim.now(); });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(completed_at, 0.5);
+}
+
+TEST(PsResource, TwoJobsOnOneCoreShareEqually) {
+  Simulation sim;
+  ProcessorSharingResource cpu(sim, 1);
+  std::vector<double> completions;
+  cpu.submit(1.0, [&] { completions.push_back(sim.now()); });
+  cpu.submit(1.0, [&] { completions.push_back(sim.now()); });
+  sim.run_all();
+  // Both jobs progress at rate 1/2 -> both finish at t=2.
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_DOUBLE_EQ(completions[0], 2.0);
+  EXPECT_DOUBLE_EQ(completions[1], 2.0);
+}
+
+TEST(PsResource, UnequalJobsPsExactness) {
+  Simulation sim;
+  ProcessorSharingResource cpu(sim, 1);
+  double short_done = -1, long_done = -1;
+  cpu.submit(1.0, [&] { short_done = sim.now(); });
+  cpu.submit(2.0, [&] { long_done = sim.now(); });
+  sim.run_all();
+  // Shared until t=2 (each has 1.0 served); short completes at 2;
+  // long has 1.0 left, alone at rate 1 -> completes at 3.
+  EXPECT_DOUBLE_EQ(short_done, 2.0);
+  EXPECT_DOUBLE_EQ(long_done, 3.0);
+}
+
+TEST(PsResource, MultiCoreNoSharingBelowCoreCount) {
+  Simulation sim;
+  ProcessorSharingResource cpu(sim, 4);
+  std::vector<double> completions;
+  for (int i = 0; i < 3; ++i) {
+    cpu.submit(1.0, [&] { completions.push_back(sim.now()); });
+  }
+  sim.run_all();
+  for (double t : completions) EXPECT_DOUBLE_EQ(t, 1.0);
+}
+
+TEST(PsResource, MultiCoreSharingAboveCoreCount) {
+  Simulation sim;
+  ProcessorSharingResource cpu(sim, 2);
+  std::vector<double> completions;
+  for (int i = 0; i < 4; ++i) {
+    cpu.submit(1.0, [&] { completions.push_back(sim.now()); });
+  }
+  sim.run_all();
+  // 4 jobs on 2 cores: per-job rate 1/2 -> all done at t=2.
+  for (double t : completions) EXPECT_DOUBLE_EQ(t, 2.0);
+}
+
+TEST(PsResource, LateArrivalSharesRemainder) {
+  Simulation sim;
+  ProcessorSharingResource cpu(sim, 1);
+  double first_done = -1, second_done = -1;
+  cpu.submit(2.0, [&] { first_done = sim.now(); });
+  sim.schedule_at(1.0, [&] {
+    cpu.submit(0.5, [&] { second_done = sim.now(); });
+  });
+  sim.run_all();
+  // First runs alone [0,1): 1.0 served, 1.0 left. Then shared at rate 1/2:
+  // second (0.5 work) finishes at t=2.0; first has 0.5 left at t=2, alone ->
+  // finishes at 2.5.
+  EXPECT_DOUBLE_EQ(second_done, 2.0);
+  EXPECT_DOUBLE_EQ(first_done, 2.5);
+}
+
+TEST(PsResource, ContentionSlowsEveryone) {
+  Simulation sim;
+  // onset 1, alpha 1, power 1: efficiency(2) = 1/(1+1) = 0.5.
+  ProcessorSharingResource cpu(sim, 2, 1.0, ContentionModel{1.0, 1.0, 1.0});
+  std::vector<double> completions;
+  cpu.submit(1.0, [&] { completions.push_back(sim.now()); });
+  cpu.submit(1.0, [&] { completions.push_back(sim.now()); });
+  sim.run_all();
+  // 2 cores, 2 jobs -> each would run at rate 1, but efficiency halves it.
+  for (double t : completions) EXPECT_DOUBLE_EQ(t, 2.0);
+}
+
+TEST(PsResource, ContentionModelEfficiencyShape) {
+  ContentionModel m{10.0, 0.02, 1.0};
+  EXPECT_DOUBLE_EQ(m.efficiency(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.efficiency(10.0), 1.0);
+  EXPECT_NEAR(m.efficiency(60.0), 1.0 / 2.0, 1e-12);
+  EXPECT_GT(m.efficiency(20.0), m.efficiency(40.0));
+  EXPECT_DOUBLE_EQ(ContentionModel::none().efficiency(1e6), 1.0);
+}
+
+TEST(PsResource, AbortDiscardsJob) {
+  Simulation sim;
+  ProcessorSharingResource cpu(sim, 1);
+  bool fired = false;
+  const auto id = cpu.submit(5.0, [&] { fired = true; });
+  sim.run_until(1.0);
+  EXPECT_TRUE(cpu.abort(id));
+  EXPECT_FALSE(cpu.abort(id));  // already gone
+  sim.run_all();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(cpu.active_jobs(), 0u);
+}
+
+TEST(PsResource, AbortSpeedsUpRemainingJobs) {
+  Simulation sim;
+  ProcessorSharingResource cpu(sim, 1);
+  double done = -1;
+  const auto doomed = cpu.submit(100.0, [] {});
+  cpu.submit(1.0, [&] { done = sim.now(); });
+  sim.schedule_at(1.0, [&] { cpu.abort(doomed); });
+  sim.run_all();
+  // Shared [0,1): survivor has 0.5 served; alone afterwards -> done at 1.5.
+  EXPECT_DOUBLE_EQ(done, 1.5);
+}
+
+TEST(PsResource, SetCoresMidFlight) {
+  Simulation sim;
+  ProcessorSharingResource cpu(sim, 1);
+  std::vector<double> completions;
+  cpu.submit(2.0, [&] { completions.push_back(sim.now()); });
+  cpu.submit(2.0, [&] { completions.push_back(sim.now()); });
+  sim.schedule_at(2.0, [&] { cpu.set_cores(2); });  // each has 1.0 served
+  sim.run_all();
+  // After t=2 both run at full rate -> finish at t=3 (vertical scaling).
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_DOUBLE_EQ(completions[0], 3.0);
+  EXPECT_DOUBLE_EQ(completions[1], 3.0);
+}
+
+TEST(PsResource, SetSpeedMidFlight) {
+  Simulation sim;
+  ProcessorSharingResource cpu(sim, 1, 1.0);
+  double done = -1;
+  cpu.submit(2.0, [&] { done = sim.now(); });
+  sim.schedule_at(1.0, [&] { cpu.set_speed(2.0); });  // 1.0 work left
+  sim.run_all();
+  // Remaining 1.0 at double speed -> +0.5 s.
+  EXPECT_DOUBLE_EQ(done, 1.5);
+}
+
+TEST(PsResource, SetContentionMidFlight) {
+  Simulation sim;
+  ProcessorSharingResource cpu(sim, 1);
+  std::vector<double> completions;
+  cpu.submit(2.0, [&] { completions.push_back(sim.now()); });
+  cpu.submit(2.0, [&] { completions.push_back(sim.now()); });
+  // At t=2 each job has 1.0 served; contention then halves the efficiency
+  // at 2 jobs: per-job rate 0.5 -> 0.25.
+  sim.schedule_at(2.0, [&] {
+    cpu.set_contention(ContentionModel{1.0, 1.0, 1.0});
+  });
+  sim.run_all();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_DOUBLE_EQ(completions[0], 6.0);  // 1.0 left at rate 0.25
+  EXPECT_DOUBLE_EQ(completions[1], 6.0);
+}
+
+TEST(PsResource, BusyCoreSecondsIntegration) {
+  Simulation sim;
+  ProcessorSharingResource cpu(sim, 2);
+  cpu.submit(1.0, [] {});
+  cpu.submit(1.0, [] {});
+  cpu.submit(1.0, [] {});  // 3 jobs on 2 cores
+  sim.run_all();
+  // All three share 2 cores: total work 3.0 at total rate 2 -> 1.5 s
+  // elapsed, busy-core integral = 2 * 1.5 = 3.0.
+  EXPECT_NEAR(cpu.busy_core_seconds(), 3.0, 1e-9);
+  EXPECT_NEAR(cpu.work_done(), 3.0, 1e-9);
+}
+
+TEST(PsResource, BusyAccountingIncludesCurrentInterval) {
+  Simulation sim;
+  ProcessorSharingResource cpu(sim, 1);
+  cpu.submit(10.0, [] {});
+  sim.run_until(4.0);
+  EXPECT_NEAR(cpu.busy_core_seconds(), 4.0, 1e-9);
+}
+
+TEST(PsResource, ZeroWorkCompletesImmediately) {
+  Simulation sim;
+  ProcessorSharingResource cpu(sim, 1);
+  double done = -1;
+  cpu.submit(0.0, [&] { done = sim.now(); });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(done, 0.0);
+}
+
+// Work conservation property: across random arrivals/demands, total work
+// done equals total demand and the busy integral never exceeds elapsed*cores.
+TEST(PsResource, WorkConservationProperty) {
+  for (int cores : {1, 2, 4}) {
+    Simulation sim;
+    ProcessorSharingResource cpu(sim, cores);
+    Rng rng(1000 + static_cast<unsigned>(cores));
+    double total_demand = 0.0;
+    int completions = 0;
+    for (int i = 0; i < 200; ++i) {
+      const double at = rng.uniform(0.0, 50.0);
+      const double work = rng.exponential(0.5);
+      total_demand += work;
+      sim.schedule_at(at, [&cpu, &completions, work] {
+        cpu.submit(work, [&completions] { ++completions; });
+      });
+    }
+    sim.run_all();
+    EXPECT_EQ(completions, 200);
+    EXPECT_NEAR(cpu.work_done(), total_demand, 1e-6);
+    EXPECT_LE(cpu.busy_core_seconds(),
+              sim.now() * static_cast<double>(cores) + 1e-9);
+    EXPECT_GE(cpu.busy_core_seconds(), total_demand - 1e-6);  // eff <= 1
+  }
+}
+
+TEST(PsResource, CallbackMayResubmit) {
+  Simulation sim;
+  ProcessorSharingResource cpu(sim, 1);
+  int rounds = 0;
+  std::function<void()> again = [&] {
+    if (++rounds < 3) cpu.submit(1.0, again);
+  };
+  cpu.submit(1.0, again);
+  sim.run_all();
+  EXPECT_EQ(rounds, 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+}  // namespace
+}  // namespace conscale

@@ -1,0 +1,143 @@
+#include "resources/token_pool.h"
+#include <functional>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace conscale {
+namespace {
+
+TEST(TokenPool, GrantsSynchronouslyWhenAvailable) {
+  TokenPool pool("p", 2);
+  bool granted = false;
+  pool.acquire([&] { granted = true; });
+  EXPECT_TRUE(granted);
+  EXPECT_EQ(pool.in_use(), 1u);
+  EXPECT_EQ(pool.available(), 1u);
+}
+
+TEST(TokenPool, QueuesWhenExhausted) {
+  TokenPool pool("p", 1);
+  int grants = 0;
+  pool.acquire([&] { ++grants; });
+  pool.acquire([&] { ++grants; });
+  EXPECT_EQ(grants, 1);
+  EXPECT_EQ(pool.waiting(), 1u);
+  pool.release();
+  EXPECT_EQ(grants, 2);
+  EXPECT_EQ(pool.waiting(), 0u);
+  EXPECT_EQ(pool.in_use(), 1u);
+}
+
+TEST(TokenPool, FifoGrantOrder) {
+  TokenPool pool("p", 1);
+  std::vector<int> order;
+  pool.acquire([] {});
+  for (int i = 0; i < 5; ++i) {
+    pool.acquire([&order, i] { order.push_back(i); });
+  }
+  for (int i = 0; i < 5; ++i) pool.release();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TokenPool, CancelQueuedRequest) {
+  TokenPool pool("p", 1);
+  pool.acquire([] {});
+  bool fired = false;
+  const auto ticket = pool.acquire([&] { fired = true; });
+  EXPECT_TRUE(pool.cancel(ticket));
+  EXPECT_FALSE(pool.cancel(ticket));  // already removed
+  pool.release();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(TokenPool, CannotCancelGrantedRequest) {
+  TokenPool pool("p", 1);
+  const auto ticket = pool.acquire([] {});
+  EXPECT_FALSE(pool.cancel(ticket));
+}
+
+TEST(TokenPool, ResizeGrowGrantsWaiters) {
+  TokenPool pool("p", 1);
+  int grants = 0;
+  for (int i = 0; i < 4; ++i) pool.acquire([&] { ++grants; });
+  EXPECT_EQ(grants, 1);
+  pool.resize(3);
+  EXPECT_EQ(grants, 3);
+  EXPECT_EQ(pool.in_use(), 3u);
+  EXPECT_EQ(pool.waiting(), 1u);
+}
+
+TEST(TokenPool, ResizeShrinkIsLazy) {
+  TokenPool pool("p", 3);
+  int grants = 0;
+  for (int i = 0; i < 3; ++i) pool.acquire([&] { ++grants; });
+  pool.resize(1);
+  EXPECT_EQ(pool.in_use(), 3u);  // holders keep their tokens
+  EXPECT_EQ(pool.capacity(), 1u);
+  bool late = false;
+  pool.acquire([&] { late = true; });
+  pool.release();  // in_use 2, still over capacity
+  EXPECT_FALSE(late);
+  pool.release();  // in_use 1, still at capacity... 0 free
+  EXPECT_FALSE(late);
+  pool.release();  // in_use 0 -> grant
+  EXPECT_TRUE(late);
+  EXPECT_EQ(pool.in_use(), 1u);
+}
+
+TEST(TokenPool, AvailableClampsAtZeroWhenOverCapacity) {
+  TokenPool pool("p", 2);
+  pool.acquire([] {});
+  pool.acquire([] {});
+  pool.resize(1);
+  EXPECT_EQ(pool.available(), 0u);
+}
+
+TEST(TokenPool, GrantCallbackCanRelease) {
+  TokenPool pool("p", 1);
+  std::vector<int> order;
+  pool.acquire([&] {
+    order.push_back(1);
+    pool.release();  // release from inside the grant
+  });
+  pool.acquire([&] { order.push_back(2); });
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(TokenPool, GrantCallbackCanAcquire) {
+  TokenPool pool("p", 2);
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 4) pool.acquire(recurse);
+  };
+  pool.acquire(recurse);
+  // capacity 2: two immediate grants, the rest queue.
+  EXPECT_EQ(depth, 2);
+  EXPECT_EQ(pool.waiting(), 1u);
+  pool.release();
+  EXPECT_EQ(depth, 3);
+}
+
+TEST(TokenPool, LifetimeCounters) {
+  TokenPool pool("p", 1);
+  pool.acquire([] {});
+  pool.acquire([] {});
+  pool.acquire([] {});
+  EXPECT_EQ(pool.total_grants(), 1u);
+  EXPECT_EQ(pool.total_queued(), 2u);
+  pool.release();
+  pool.release();
+  EXPECT_EQ(pool.total_grants(), 3u);
+}
+
+TEST(TokenPool, NameIsPreserved) {
+  TokenPool pool("Tomcat1.dbconn", 40);
+  EXPECT_EQ(pool.name(), "Tomcat1.dbconn");
+  EXPECT_EQ(pool.capacity(), 40u);
+}
+
+}  // namespace
+}  // namespace conscale

@@ -1,0 +1,301 @@
+#include "sct/estimator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace conscale {
+namespace {
+
+// Synthetic three-stage curve: linear ascent to tp_max at q_knee, flat until
+// q_fall, then linear descent. This is the ground truth the estimator must
+// recover from noisy samples.
+struct CurveSpec {
+  int q_knee = 10;
+  int q_fall = 30;
+  int q_max = 60;       // largest observed concurrency
+  double tp_max = 1000.0;
+  double fall_slope = 15.0;  // throughput lost per step beyond q_fall
+  double noise_cv = 0.05;
+  int samples_per_bucket = 30;
+};
+
+double true_tp(const CurveSpec& spec, int q) {
+  if (q <= spec.q_knee) {
+    return spec.tp_max * static_cast<double>(q) /
+           static_cast<double>(spec.q_knee);
+  }
+  if (q <= spec.q_fall) return spec.tp_max;
+  return std::max(spec.tp_max - spec.fall_slope * (q - spec.q_fall), 0.0);
+}
+
+ScatterSet synthesize(const CurveSpec& spec, std::uint64_t seed = 1234) {
+  Rng rng(seed);
+  ScatterSet scatter;
+  for (int q = 1; q <= spec.q_max; ++q) {
+    for (int i = 0; i < spec.samples_per_bucket; ++i) {
+      IntervalSample s;
+      s.concurrency = q;
+      const double tp = true_tp(spec, q);
+      s.throughput = spec.noise_cv > 0.0
+                         ? rng.normal(tp, spec.noise_cv * spec.tp_max)
+                         : tp;
+      s.mean_rt = q / std::max(s.throughput, 1.0);
+      s.completions = 5;
+      scatter.add(s);
+    }
+  }
+  return scatter;
+}
+
+TEST(SctEstimator, RecoversCleanThreeStageCurve) {
+  const CurveSpec spec;
+  const ScatterSet scatter = synthesize(spec);
+  SctEstimator estimator;
+  const auto range = estimator.estimate(scatter);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_NEAR(range->q_lower, spec.q_knee, 2);
+  EXPECT_NEAR(range->q_upper, spec.q_fall, 4);
+  EXPECT_NEAR(range->tp_max, spec.tp_max, 0.05 * spec.tp_max);
+  EXPECT_EQ(range->optimal, range->q_lower);
+  EXPECT_TRUE(range->descending_observed);
+}
+
+TEST(SctEstimator, NotEnoughBucketsReturnsNullopt) {
+  CurveSpec spec;
+  spec.q_max = 3;
+  const ScatterSet scatter = synthesize(spec);
+  SctEstimator estimator;
+  EXPECT_FALSE(estimator.estimate(scatter).has_value());
+}
+
+TEST(SctEstimator, EmptyScatterReturnsNullopt) {
+  SctEstimator estimator;
+  EXPECT_FALSE(estimator.estimate(ScatterSet{}).has_value());
+  EXPECT_TRUE(estimator.classify(ScatterSet{}).empty());
+}
+
+TEST(SctEstimator, RightCensoredPlateauNotMarkedDescending) {
+  // The window never pushed past the plateau (q_max == q_fall): q_upper is
+  // right-censored and descending must NOT be reported as observed.
+  CurveSpec spec;
+  spec.q_fall = 40;
+  spec.q_max = 35;
+  const ScatterSet scatter = synthesize(spec);
+  SctEstimator estimator;
+  const auto range = estimator.estimate(scatter);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_FALSE(range->descending_observed);
+  EXPECT_LE(range->q_upper, 35);
+}
+
+TEST(SctEstimator, ShallowNoiseDipIsNotDescending) {
+  // A flat plateau all the way to q_max with noise: the last bucket dipping
+  // by chance must not count as an observed descending stage (the anti-
+  // ratchet guard).
+  CurveSpec spec;
+  spec.q_fall = 100;  // never falls within observation
+  spec.q_max = 40;
+  spec.noise_cv = 0.06;
+  const ScatterSet scatter = synthesize(spec, 777);
+  SctEstimator estimator;
+  const auto range = estimator.estimate(scatter);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_FALSE(range->descending_observed);
+}
+
+TEST(SctEstimator, RtSlaSelectsLargestCompliantPlateauLevel) {
+  // Build a curve whose plateau spans Q=10..30 with RT growing linearly;
+  // an SLA of 0.02 s is met up to Q ~ 20.
+  Rng rng(55);
+  ScatterSet scatter;
+  for (int q = 1; q <= 45; ++q) {
+    const double tp = q <= 10 ? 1000.0 * q / 10.0
+                     : q <= 30 ? 1000.0
+                               : 1000.0 - 40.0 * (q - 30);
+    for (int i = 0; i < 30; ++i) {
+      IntervalSample s;
+      s.concurrency = q;
+      s.throughput = rng.normal(tp, 25.0);
+      s.mean_rt = 0.001 * q;  // 1 ms per concurrency level
+      s.completions = 5;
+      scatter.add(s);
+    }
+  }
+  SctParams with_sla;
+  with_sla.rt_sla = 0.020;
+  const auto range = SctEstimator(with_sla).estimate(scatter);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_NEAR(range->optimal, 20, 3);
+  EXPECT_GE(range->optimal, range->q_lower);
+  EXPECT_LE(range->optimal, range->q_upper);
+
+  // Infeasible SLA: falls back to Q_lower (throughput first, as the paper).
+  SctParams strict;
+  strict.rt_sla = 0.001;
+  const auto fallback = SctEstimator(strict).estimate(scatter);
+  ASSERT_TRUE(fallback.has_value());
+  EXPECT_EQ(fallback->optimal, fallback->q_lower);
+
+  // Disabled SLA: optimal == Q_lower.
+  const auto plain = SctEstimator().estimate(scatter);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->optimal, plain->q_lower);
+}
+
+TEST(SctEstimator, ContiguousKneeTopIsNotCensored) {
+  // Clean curve observed straight through the knee: q_upper is measured.
+  const CurveSpec spec;
+  const ScatterSet scatter = synthesize(spec);
+  SctEstimator estimator;
+  const auto range = estimator.estimate(scatter);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_FALSE(range->q_upper_censored);
+}
+
+TEST(SctEstimator, GapAfterPlateauIsCensoredButDescendingObserved) {
+  // A bursty production window: ascending + narrow plateau, a wide gap, and
+  // a dense deeply-degraded blob where concurrency pinned at the old
+  // allocation. Descending IS observed (strong evidence far out), but the
+  // plateau's right edge is just where data stops — censored.
+  Rng rng(2024);
+  ScatterSet scatter;
+  auto add_bucket = [&](int q, double tp, int n) {
+    for (int i = 0; i < n; ++i) {
+      IntervalSample s;
+      s.concurrency = q;
+      s.throughput = rng.normal(tp, 0.03 * 1000.0);
+      s.completions = 5;
+      scatter.add(s);
+    }
+  };
+  for (int q = 1; q <= 15; ++q) {
+    add_bucket(q, 1000.0 * std::min(q, 12) / 12.0, 30);
+  }
+  add_bucket(80, 420.0, 120);  // the pinned melt blob
+  SctEstimator estimator;
+  const auto range = estimator.estimate(scatter);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_TRUE(range->descending_observed);
+  EXPECT_TRUE(range->q_upper_censored);
+  EXPECT_LE(range->q_upper, 16);
+}
+
+TEST(SctEstimator, NoiseDipNearPlateauIsNotDescendingEvidence) {
+  // A bucket just below the practical floor but statistically weak (high
+  // variance, few samples) must not count as a descending observation.
+  Rng rng(77);
+  ScatterSet scatter;
+  for (int q = 1; q <= 20; ++q) {
+    const double tp = 1000.0 * std::min(q, 10) / 10.0;
+    for (int i = 0; i < 30; ++i) {
+      IntervalSample s;
+      s.concurrency = q;
+      s.throughput = rng.normal(tp, 30.0);
+      s.completions = 5;
+      scatter.add(s);
+    }
+  }
+  // Sparse, wildly noisy tail bucket.
+  for (int i = 0; i < 4; ++i) {
+    IntervalSample s;
+    s.concurrency = 22;
+    s.throughput = rng.normal(840.0, 400.0);
+    s.completions = 5;
+    scatter.add(s);
+  }
+  SctEstimator estimator;
+  const auto range = estimator.estimate(scatter);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_FALSE(range->descending_observed);
+}
+
+TEST(SctEstimator, ClassifyLabelsAllThreeStages) {
+  const CurveSpec spec;
+  const ScatterSet scatter = synthesize(spec);
+  SctEstimator estimator;
+  const auto stages = estimator.classify(scatter);
+  ASSERT_FALSE(stages.empty());
+  bool saw_ascending = false, saw_stable = false, saw_descending = false;
+  SctStage last = SctStage::kAscending;
+  for (const auto& p : stages) {
+    // Stages must be monotone: ascending -> stable -> descending.
+    EXPECT_GE(static_cast<int>(p.stage), static_cast<int>(last));
+    last = p.stage;
+    saw_ascending |= p.stage == SctStage::kAscending;
+    saw_stable |= p.stage == SctStage::kStable;
+    saw_descending |= p.stage == SctStage::kDescending;
+  }
+  EXPECT_TRUE(saw_ascending);
+  EXPECT_TRUE(saw_stable);
+  EXPECT_TRUE(saw_descending);
+}
+
+TEST(SctEstimator, PlateauToleranceWidensRange) {
+  const CurveSpec spec;
+  const ScatterSet scatter = synthesize(spec);
+  SctParams tight;
+  tight.plateau_tolerance = 0.02;
+  SctParams loose;
+  loose.plateau_tolerance = 0.15;
+  const auto r_tight = SctEstimator(tight).estimate(scatter);
+  const auto r_loose = SctEstimator(loose).estimate(scatter);
+  ASSERT_TRUE(r_tight && r_loose);
+  EXPECT_LE(r_loose->q_lower, r_tight->q_lower);
+  EXPECT_GE(r_loose->q_upper, r_tight->q_upper);
+}
+
+// Parameterized sweep across curve shapes and noise levels: the estimator
+// must land near the true knee for all of them.
+struct EstimatorCase {
+  const char* name;
+  CurveSpec spec;
+  int knee_tolerance;
+};
+
+class EstimatorSweep : public ::testing::TestWithParam<EstimatorCase> {};
+
+TEST_P(EstimatorSweep, FindsKnee) {
+  const auto& param = GetParam();
+  const ScatterSet scatter = synthesize(param.spec, 42);
+  SctEstimator estimator;
+  const auto range = estimator.estimate(scatter);
+  ASSERT_TRUE(range.has_value()) << param.name;
+  EXPECT_NEAR(range->q_lower, param.spec.q_knee, param.knee_tolerance)
+      << param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EstimatorSweep,
+    ::testing::Values(
+        EstimatorCase{"early_knee", {5, 25, 60, 800.0, 12.0, 0.04, 30}, 2},
+        EstimatorCase{"late_knee", {30, 45, 80, 1200.0, 20.0, 0.04, 30}, 4},
+        EstimatorCase{"narrow_plateau", {15, 20, 50, 600.0, 10.0, 0.03, 30}, 3},
+        EstimatorCase{"wide_plateau", {8, 50, 90, 900.0, 18.0, 0.04, 30}, 2},
+        EstimatorCase{"noisy", {12, 30, 60, 1000.0, 15.0, 0.10, 60}, 4},
+        EstimatorCase{"steep_fall", {10, 30, 60, 1000.0, 60.0, 0.05, 30}, 2},
+        EstimatorCase{"high_throughput",
+                      {10, 30, 60, 50000.0, 800.0, 0.05, 30},
+                      2}),
+    [](const ::testing::TestParamInfo<EstimatorCase>& info) {
+      return info.param.name;
+    });
+
+TEST(SctEstimator, SparseBucketsAreIgnored) {
+  CurveSpec spec;
+  spec.samples_per_bucket = 2;  // below the default min of 4
+  const ScatterSet scatter = synthesize(spec);
+  SctEstimator estimator;
+  EXPECT_FALSE(estimator.estimate(scatter).has_value());
+}
+
+TEST(SctStageNames, ToString) {
+  EXPECT_EQ(to_string(SctStage::kAscending), "ascending");
+  EXPECT_EQ(to_string(SctStage::kStable), "stable");
+  EXPECT_EQ(to_string(SctStage::kDescending), "descending");
+}
+
+}  // namespace
+}  // namespace conscale

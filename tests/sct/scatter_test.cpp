@@ -1,0 +1,88 @@
+#include "sct/scatter.h"
+
+#include <gtest/gtest.h>
+
+namespace conscale {
+namespace {
+
+IntervalSample sample(double q, double tp, double rt = 0.01,
+                      std::uint64_t completions = 5) {
+  IntervalSample s;
+  s.concurrency = q;
+  s.throughput = tp;
+  s.mean_rt = rt;
+  s.completions = completions;
+  return s;
+}
+
+TEST(ScatterSet, BucketsByRoundedConcurrency) {
+  ScatterSet scatter;
+  scatter.add(sample(9.6, 100.0));
+  scatter.add(sample(10.2, 110.0));
+  scatter.add(sample(10.4, 120.0));
+  EXPECT_EQ(scatter.bucket_count(), 1u);  // all round to 10
+  const auto ordered = scatter.ordered();
+  ASSERT_EQ(ordered.size(), 1u);
+  EXPECT_EQ(ordered[0]->q, 10);
+  EXPECT_EQ(ordered[0]->throughput.count(), 3u);
+  EXPECT_NEAR(ordered[0]->throughput.mean(), 110.0, 1e-9);
+}
+
+TEST(ScatterSet, SkipsIdleSamples) {
+  ScatterSet scatter;
+  scatter.add(sample(0.2, 0.0));
+  scatter.add(sample(0.49, 50.0));
+  EXPECT_TRUE(scatter.empty());
+  EXPECT_EQ(scatter.total_samples(), 0u);
+}
+
+TEST(ScatterSet, ZeroCompletionIntervalsCountForThroughputOnly) {
+  ScatterSet scatter;
+  scatter.add(sample(5.0, 0.0, 0.0, 0));
+  const auto ordered = scatter.ordered();
+  ASSERT_EQ(ordered.size(), 1u);
+  EXPECT_EQ(ordered[0]->throughput.count(), 1u);
+  EXPECT_EQ(ordered[0]->response_time.count(), 0u);
+}
+
+TEST(ScatterSet, OrderedIsSortedByQ) {
+  ScatterSet scatter;
+  scatter.add(sample(30.0, 1.0));
+  scatter.add(sample(10.0, 1.0));
+  scatter.add(sample(20.0, 1.0));
+  const auto ordered = scatter.ordered();
+  ASSERT_EQ(ordered.size(), 3u);
+  EXPECT_EQ(ordered[0]->q, 10);
+  EXPECT_EQ(ordered[1]->q, 20);
+  EXPECT_EQ(ordered[2]->q, 30);
+}
+
+TEST(ScatterSet, DenseFilterDropsThinBuckets) {
+  ScatterSet scatter;
+  for (int i = 0; i < 5; ++i) scatter.add(sample(10.0, 100.0));
+  scatter.add(sample(20.0, 100.0));  // single observation
+  EXPECT_EQ(scatter.ordered_dense(3).size(), 1u);
+  EXPECT_EQ(scatter.ordered_dense(1).size(), 2u);
+}
+
+TEST(ScatterSet, MaxQAndClear) {
+  ScatterSet scatter;
+  EXPECT_EQ(scatter.max_q(), 0);
+  scatter.add(sample(7.0, 1.0));
+  scatter.add(sample(42.0, 1.0));
+  EXPECT_EQ(scatter.max_q(), 42);
+  scatter.clear();
+  EXPECT_TRUE(scatter.empty());
+  EXPECT_EQ(scatter.max_q(), 0);
+}
+
+TEST(ScatterSet, AddAllFoldsVector) {
+  ScatterSet scatter;
+  std::vector<IntervalSample> samples = {sample(1.0, 1.0), sample(2.0, 2.0),
+                                         sample(0.1, 9.0)};
+  scatter.add_all(samples);
+  EXPECT_EQ(scatter.total_samples(), 2u);  // idle sample skipped
+}
+
+}  // namespace
+}  // namespace conscale

@@ -1,0 +1,97 @@
+// Randomized conformance test: the event queue against a trivially correct
+// reference model. Thousands of random schedule/cancel/run interleavings
+// must produce identical firing sequences — this pins down the lazy-deletion
+// heap, the (time, sequence) ordering, and cancellation semantics at once.
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "simcore/simulation.h"
+
+namespace conscale {
+namespace {
+
+struct ReferenceEvent {
+  double time;
+  std::uint64_t seq;
+  int id;
+  bool cancelled = false;
+};
+
+class SimulationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulationFuzz, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  Simulation sim;
+  std::vector<int> fired;
+
+  std::vector<ReferenceEvent> reference;
+  std::vector<EventHandle> handles;
+  std::uint64_t seq = 0;
+  int next_id = 0;
+
+  // Phase 1: random schedules and cancels before running.
+  for (int op = 0; op < 400; ++op) {
+    const double dice = rng.uniform();
+    if (dice < 0.7 || handles.empty()) {
+      const double when = rng.uniform(0.0, 100.0);
+      const int id = next_id++;
+      handles.push_back(sim.schedule_at(when, [&fired, id] {
+        fired.push_back(id);
+      }));
+      reference.push_back({when, seq++, id});
+    } else {
+      const std::size_t victim = rng.uniform_index(handles.size());
+      const bool did_cancel = handles[victim].cancel();
+      if (!reference[victim].cancelled) {
+        EXPECT_TRUE(did_cancel);
+        reference[victim].cancelled = true;
+      } else {
+        EXPECT_FALSE(did_cancel);
+      }
+    }
+  }
+
+  // Phase 2: run in random-length time slices, interleaving more schedules.
+  double horizon = 0.0;
+  while (horizon < 100.0) {
+    horizon += rng.uniform(0.0, 20.0);
+    sim.run_until(horizon);
+    // Events scheduled "in the past" clamp to now and fire next.
+    if (rng.bernoulli(0.5)) {
+      const double requested = rng.uniform(0.0, 100.0);
+      const int id = next_id++;
+      handles.push_back(sim.schedule_at(requested, [&fired, id] {
+        fired.push_back(id);
+      }));
+      reference.push_back({std::max(requested, sim.now()), seq++, id});
+    }
+  }
+  sim.run_all();
+
+  // Reference: stable sort by (time, seq), drop cancelled.
+  std::vector<ReferenceEvent> expected;
+  for (const auto& e : reference) {
+    if (!e.cancelled) expected.push_back(e);
+  }
+  std::sort(expected.begin(), expected.end(),
+            [](const ReferenceEvent& a, const ReferenceEvent& b) {
+              return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+            });
+
+  ASSERT_EQ(fired.size(), expected.size());
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i], expected[i].id) << "position " << i;
+  }
+  EXPECT_EQ(sim.events_executed(), fired.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulationFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+}  // namespace
+}  // namespace conscale

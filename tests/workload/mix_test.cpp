@@ -1,0 +1,126 @@
+#include "workload/mix.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace conscale {
+namespace {
+
+RequestClass simple_class(const std::string& name, double weight) {
+  RequestClass c;
+  c.name = name;
+  c.weight = weight;
+  c.tiers.resize(3);
+  return c;
+}
+
+TEST(RequestMix, PickRespectsWeights) {
+  RequestMix mix({simple_class("a", 3.0), simple_class("b", 1.0)});
+  Rng rng(21);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 40000; ++i) ++counts[mix.pick(rng).name];
+  EXPECT_NEAR(counts["a"] / 40000.0, 0.75, 0.02);
+  EXPECT_NEAR(counts["b"] / 40000.0, 0.25, 0.02);
+}
+
+TEST(RequestMix, ZeroWeightClassNeverPicked) {
+  RequestMix mix({simple_class("never", 0.0), simple_class("always", 1.0)});
+  Rng rng(22);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(mix.pick(rng).name, "always");
+}
+
+TEST(RequestMix, NegativeWeightThrows) {
+  EXPECT_THROW(RequestMix({simple_class("x", -1.0)}), std::invalid_argument);
+}
+
+TEST(RequestMix, AllZeroWeightsThrow) {
+  EXPECT_THROW(RequestMix({simple_class("x", 0.0)}), std::invalid_argument);
+}
+
+TEST(RequestMix, DatasetScaleAffectsAppPostCpu) {
+  RequestMix mix = make_browse_only_mix(MixParams{});
+  const double before = mix.classes()[0].tiers[1].cpu_post;
+  mix.apply_dataset_scale(2.0);
+  EXPECT_NEAR(mix.classes()[0].tiers[1].cpu_post, 2.0 * before, 1e-12);
+  EXPECT_DOUBLE_EQ(mix.dataset_scale(), 2.0);
+  // Scaling is absolute, not compounding: 2.0 then 1.0 restores original.
+  mix.apply_dataset_scale(1.0);
+  EXPECT_NEAR(mix.classes()[0].tiers[1].cpu_post, before, 1e-12);
+}
+
+TEST(RequestMix, DatasetScaleRejectsNonPositive) {
+  RequestMix mix = make_browse_only_mix(MixParams{});
+  EXPECT_THROW(mix.apply_dataset_scale(0.0), std::invalid_argument);
+  EXPECT_THROW(mix.apply_dataset_scale(-1.0), std::invalid_argument);
+}
+
+TEST(BrowseOnlyMix, StructureMatchesThreeTiers) {
+  const RequestMix mix = make_browse_only_mix(MixParams{});
+  ASSERT_FALSE(mix.empty());
+  for (const auto& c : mix.classes()) {
+    ASSERT_EQ(c.tiers.size(), 3u) << c.name;
+    EXPECT_FALSE(c.is_write) << c.name;
+    EXPECT_EQ(c.tiers[0].downstream_calls, 1) << c.name;
+    EXPECT_GT(c.tiers[1].downstream_calls, 0) << c.name;
+    EXPECT_EQ(c.tiers[2].downstream_calls, 0) << c.name;
+    // Browse-only mode is CPU-bound at the DB: no disk demand.
+    EXPECT_DOUBLE_EQ(c.tiers[2].disk, 0.0) << c.name;
+    EXPECT_GT(c.tiers[2].cpu_pre, 0.0) << c.name;
+  }
+}
+
+TEST(ReadWriteMix, DiskIsTheCriticalResource) {
+  const RequestMix mix = make_read_write_mix(MixParams{});
+  double disk_weight = 0.0, total_weight = 0.0;
+  bool has_write = false;
+  for (const auto& c : mix.classes()) {
+    total_weight += c.weight;
+    if (c.tiers[2].disk > 0.0) disk_weight += c.weight;
+    has_write |= c.is_write;
+  }
+  EXPECT_TRUE(has_write);
+  // Every class touches the disk in I/O-intensive mode (uncached reads).
+  EXPECT_DOUBLE_EQ(disk_weight, total_weight);
+}
+
+TEST(MixParams, WorkScaleMultipliesDemands) {
+  MixParams base;
+  MixParams scaled = base;
+  scaled.work_scale = 4.0;
+  const RequestMix m1 = make_browse_only_mix(base);
+  const RequestMix m2 = make_browse_only_mix(scaled);
+  for (std::size_t i = 0; i < m1.classes().size(); ++i) {
+    for (std::size_t t = 0; t < 3; ++t) {
+      EXPECT_NEAR(m2.classes()[i].tiers[t].cpu_pre,
+                  4.0 * m1.classes()[i].tiers[t].cpu_pre, 1e-12);
+      EXPECT_NEAR(m2.classes()[i].tiers[t].pure_delay,
+                  4.0 * m1.classes()[i].tiers[t].pure_delay, 1e-12);
+    }
+  }
+}
+
+TEST(MixParams, WorkScalePreservesDemandRatios) {
+  // The concurrency optimum depends only on (cpu + delay + wait) / cpu, so
+  // work_scale must not change any demand ratio.
+  MixParams base;
+  MixParams scaled = base;
+  scaled.work_scale = 8.0;
+  const RequestMix mix_a = make_browse_only_mix(base);
+  const RequestMix mix_b = make_browse_only_mix(scaled);
+  const RequestClass& a = mix_a.classes()[0];
+  const RequestClass& b = mix_b.classes()[0];
+  const double ratio_a = a.tiers[1].pure_delay / a.tiers[1].total_cpu();
+  const double ratio_b = b.tiers[1].pure_delay / b.tiers[1].total_cpu();
+  EXPECT_NEAR(ratio_a, ratio_b, 1e-9);
+}
+
+TEST(PhaseDemand, TotalCpu) {
+  PhaseDemand d;
+  d.cpu_pre = 1.0;
+  d.cpu_post = 2.0;
+  EXPECT_DOUBLE_EQ(d.total_cpu(), 3.0);
+}
+
+}  // namespace
+}  // namespace conscale

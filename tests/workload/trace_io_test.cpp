@@ -1,0 +1,136 @@
+#include "workload/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace conscale {
+namespace {
+
+std::string temp_path(const std::string& stem) {
+  return ::testing::TempDir() + "/" + stem;
+}
+
+TEST(TraceIo, SaveLoadRoundTrip) {
+  TraceParams params;
+  params.duration = 120.0;
+  params.noise_fraction = 0.0;
+  const WorkloadTrace original = make_trace(TraceKind::kBigSpike, params);
+  const std::string path = temp_path("trace_roundtrip.csv");
+  save_trace_csv(original, path);
+  const WorkloadTrace loaded = load_trace_csv(path, "copy");
+  EXPECT_EQ(loaded.name(), "copy");
+  EXPECT_DOUBLE_EQ(loaded.sample_period(), original.sample_period());
+  ASSERT_EQ(loaded.samples().size(), original.samples().size());
+  for (std::size_t i = 0; i < loaded.samples().size(); ++i) {
+    EXPECT_NEAR(loaded.samples()[i], original.samples()[i],
+                1e-4 * original.samples()[i] + 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadRejectsMalformedFiles) {
+  EXPECT_THROW(load_trace_csv("/no/such/trace.csv"), std::runtime_error);
+
+  const std::string path = temp_path("bad_trace.csv");
+  {
+    std::ofstream out(path);
+    out << "t,users\n0,100\n1,200\nnot,numeric\n";
+  }
+  EXPECT_THROW(load_trace_csv(path), std::runtime_error);
+  {
+    std::ofstream out(path);
+    out << "t,users\n0,100\n";  // single sample
+  }
+  EXPECT_THROW(load_trace_csv(path), std::runtime_error);
+  {
+    std::ofstream out(path);
+    out << "t,users\n0,100\n1,200\n5,300\n";  // uneven spacing
+  }
+  EXPECT_THROW(load_trace_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, ScaleUsersMultiplies) {
+  const WorkloadTrace base = make_constant_trace(100.0, 10.0);
+  const WorkloadTrace scaled = scale_users(base, 2.5);
+  EXPECT_DOUBLE_EQ(scaled.users_at(5.0), 250.0);
+  EXPECT_DOUBLE_EQ(scaled.sample_period(), base.sample_period());
+}
+
+TEST(TraceIo, NormalizePeakHitsTarget) {
+  TraceParams params;
+  params.noise_fraction = 0.0;
+  const WorkloadTrace base = make_trace(TraceKind::kDualPhase, params);
+  const WorkloadTrace normalized = normalize_peak(base, 1234.0);
+  EXPECT_NEAR(normalized.peak_users(), 1234.0, 1e-6);
+  EXPECT_THROW(
+      normalize_peak(make_constant_trace(0.0, 10.0), 100.0),
+      std::invalid_argument);
+}
+
+TEST(TraceIo, StretchTimeChangesDurationOnly) {
+  const WorkloadTrace base = make_ramp_trace(0.0, 100.0, 100.0);
+  const WorkloadTrace slow = stretch_time(base, 2.0);
+  EXPECT_NEAR(slow.duration(), 2.0 * base.duration(), 1e-9);
+  EXPECT_NEAR(slow.peak_users(), base.peak_users(), 1e-9);
+  // Shape preserved: the peak is still halfway through.
+  EXPECT_NEAR(slow.users_at(slow.duration() / 2.0), 100.0, 3.0);
+  EXPECT_THROW(stretch_time(base, 0.0), std::invalid_argument);
+}
+
+TEST(TraceIo, ConcatPlaysBackToBack) {
+  const WorkloadTrace low = make_constant_trace(10.0, 50.0);
+  const WorkloadTrace high = make_constant_trace(90.0, 50.0);
+  const WorkloadTrace both = concat(low, high);
+  EXPECT_DOUBLE_EQ(both.users_at(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(both.users_at(both.duration() - 5.0), 90.0);
+  EXPECT_GT(both.samples().size(), low.samples().size());
+  const WorkloadTrace mismatched("x", 2.0, {1.0, 2.0});
+  EXPECT_THROW(concat(low, mismatched), std::invalid_argument);
+}
+
+TEST(TraceIo, AddNoiseIsDeterministicAndNonNegative) {
+  const WorkloadTrace base = make_constant_trace(100.0, 60.0);
+  const WorkloadTrace a = add_noise(base, 0.1, 42);
+  const WorkloadTrace b = add_noise(base, 0.1, 42);
+  EXPECT_EQ(a.samples(), b.samples());
+  bool any_different = false;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < a.samples().size(); ++i) {
+    EXPECT_GE(a.samples()[i], 0.0);
+    any_different |= a.samples()[i] != base.samples()[i];
+    mean += a.samples()[i];
+  }
+  mean /= static_cast<double>(a.samples().size());
+  EXPECT_TRUE(any_different);
+  EXPECT_NEAR(mean, 100.0, 5.0);  // unbiased jitter
+}
+
+TEST(TraceIo, ClampBoundsEverySample) {
+  const WorkloadTrace base = make_ramp_trace(0.0, 100.0, 100.0);
+  const WorkloadTrace clamped = clamp_users(base, 20.0, 80.0);
+  for (double s : clamped.samples()) {
+    EXPECT_GE(s, 20.0);
+    EXPECT_LE(s, 80.0);
+  }
+}
+
+TEST(TraceIo, TransformsCompose) {
+  // A realistic pipeline: load a recorded shape, normalize, stretch, jitter.
+  TraceParams params;
+  params.noise_fraction = 0.0;
+  const WorkloadTrace recorded = make_trace(TraceKind::kBigSpike, params);
+  const std::string path = temp_path("composed.csv");
+  save_trace_csv(recorded, path);
+  const WorkloadTrace ready = add_noise(
+      stretch_time(normalize_peak(load_trace_csv(path), 5000.0), 0.5), 0.02,
+      7);
+  EXPECT_NEAR(ready.peak_users(), 5000.0, 400.0);
+  EXPECT_NEAR(ready.duration(), recorded.duration() / 2.0, 1.0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace conscale

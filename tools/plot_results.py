@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Render the CSV dumps produced by the bench harnesses as PNG figures.
+
+The bench binaries print terminal charts by themselves; this script is for
+paper-quality figures. Pass `csv_dir=<dir>` to any bench to produce the CSVs,
+then:
+
+    ./tools/plot_results.py out/fig10_ec2.csv out/fig10_conscale.csv
+    ./tools/plot_results.py --scatter out/fig06_scatter.csv
+
+Requires matplotlib (not needed by anything else in the repository).
+"""
+import argparse
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        rows = list(reader)
+    if not rows:
+        raise SystemExit(f"{path}: empty CSV")
+    return {k: [float(r[k]) for r in rows] for k in rows[0]}
+
+
+def plot_timeline(paths, output):
+    import matplotlib.pyplot as plt
+
+    fig, (ax_rt, ax_tp) = plt.subplots(2, 1, figsize=(9, 6), sharex=True)
+    for path in paths:
+        data = read_csv(path)
+        label = os.path.splitext(os.path.basename(path))[0]
+        ax_rt.plot(data["t"], data["mean_rt_ms"], label=label, linewidth=1)
+        ax_tp.plot(data["t"], data["throughput_rps"], label=label, linewidth=1)
+    ax_rt.set_ylabel("Response Time [ms]")
+    ax_rt.legend()
+    ax_tp.set_ylabel("Throughput [reqs/s]")
+    ax_tp.set_xlabel("Timeline [s]")
+    fig.tight_layout()
+    fig.savefig(output, dpi=150)
+    print(f"wrote {output}")
+
+
+def plot_scatter(paths, output):
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(8, 5))
+    for path in paths:
+        data = read_csv(path)
+        label = os.path.splitext(os.path.basename(path))[0]
+        ax.scatter(data["concurrency"], data["throughput"], s=4, alpha=0.4,
+                   label=label)
+    ax.set_xlabel("Concurrency [#]")
+    ax.set_ylabel("Throughput [reqs/s]")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(output, dpi=150)
+    print(f"wrote {output}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csvs", nargs="+", help="CSV files from a bench run")
+    parser.add_argument("--scatter", action="store_true",
+                        help="treat inputs as concurrency/throughput scatters")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output PNG (default: derived from first input)")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib  # noqa: F401
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    output = args.output or (
+        os.path.splitext(args.csvs[0])[0] +
+        ("_scatter.png" if args.scatter else "_timeline.png"))
+    if args.scatter:
+        plot_scatter(args.csvs, output)
+    else:
+        plot_timeline(args.csvs, output)
+
+
+if __name__ == "__main__":
+    main()
