@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_interval.dir/bench_ablation_interval.cpp.o"
+  "CMakeFiles/bench_ablation_interval.dir/bench_ablation_interval.cpp.o.d"
+  "bench_ablation_interval"
+  "bench_ablation_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sessions.dir/bench_ablation_sessions.cpp.o"
+  "CMakeFiles/bench_ablation_sessions.dir/bench_ablation_sessions.cpp.o.d"
+  "bench_ablation_sessions"
+  "bench_ablation_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

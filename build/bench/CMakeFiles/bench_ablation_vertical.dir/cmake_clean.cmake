@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vertical.dir/bench_ablation_vertical.cpp.o"
+  "CMakeFiles/bench_ablation_vertical.dir/bench_ablation_vertical.cpp.o.d"
+  "bench_ablation_vertical"
+  "bench_ablation_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_ec2_fluctuation.dir/bench_fig01_ec2_fluctuation.cpp.o"
+  "CMakeFiles/bench_fig01_ec2_fluctuation.dir/bench_fig01_ec2_fluctuation.cpp.o.d"
+  "bench_fig01_ec2_fluctuation"
+  "bench_fig01_ec2_fluctuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_ec2_fluctuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_fine_grained_monitoring.dir/bench_fig05_fine_grained_monitoring.cpp.o"
+  "CMakeFiles/bench_fig05_fine_grained_monitoring.dir/bench_fig05_fine_grained_monitoring.cpp.o.d"
+  "bench_fig05_fine_grained_monitoring"
+  "bench_fig05_fine_grained_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_fine_grained_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

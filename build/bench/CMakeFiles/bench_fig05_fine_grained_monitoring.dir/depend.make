@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig05_fine_grained_monitoring.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_scatter_correlation.dir/bench_fig06_scatter_correlation.cpp.o"
+  "CMakeFiles/bench_fig06_scatter_correlation.dir/bench_fig06_scatter_correlation.cpp.o.d"
+  "bench_fig06_scatter_correlation"
+  "bench_fig06_scatter_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_scatter_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_dcm_vs_conscale.dir/bench_fig11_dcm_vs_conscale.cpp.o"
+  "CMakeFiles/bench_fig11_dcm_vs_conscale.dir/bench_fig11_dcm_vs_conscale.cpp.o.d"
+  "bench_fig11_dcm_vs_conscale"
+  "bench_fig11_dcm_vs_conscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_dcm_vs_conscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_latency_vs_load.cpp" "bench/CMakeFiles/bench_latency_vs_load.dir/bench_latency_vs_load.cpp.o" "gcc" "bench/CMakeFiles/bench_latency_vs_load.dir/bench_latency_vs_load.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/cs_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/conscale/CMakeFiles/cs_conscale.dir/DependInfo.cmake"
+  "/root/repo/build/src/sct/CMakeFiles/cs_sct.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/tier/CMakeFiles/cs_tier.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/cs_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/cs_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscale_demo.dir/autoscale_demo.cpp.o"
+  "CMakeFiles/autoscale_demo.dir/autoscale_demo.cpp.o.d"
+  "autoscale_demo"
+  "autoscale_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscale_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

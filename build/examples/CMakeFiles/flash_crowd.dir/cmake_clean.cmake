@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_crowd.dir/flash_crowd.cpp.o"
+  "CMakeFiles/flash_crowd.dir/flash_crowd.cpp.o.d"
+  "flash_crowd"
+  "flash_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

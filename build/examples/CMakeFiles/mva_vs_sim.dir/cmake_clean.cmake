@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mva_vs_sim.dir/mva_vs_sim.cpp.o"
+  "CMakeFiles/mva_vs_sim.dir/mva_vs_sim.cpp.o.d"
+  "mva_vs_sim"
+  "mva_vs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mva_vs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

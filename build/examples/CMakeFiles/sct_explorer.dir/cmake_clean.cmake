@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sct_explorer.dir/sct_explorer.cpp.o"
+  "CMakeFiles/sct_explorer.dir/sct_explorer.cpp.o.d"
+  "sct_explorer"
+  "sct_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sct_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_analysis.dir/mva.cpp.o"
+  "CMakeFiles/cs_analysis.dir/mva.cpp.o.d"
+  "libcs_analysis.a"
+  "libcs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_cluster.dir/load_balancer.cpp.o"
+  "CMakeFiles/cs_cluster.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/cs_cluster.dir/ntier_system.cpp.o"
+  "CMakeFiles/cs_cluster.dir/ntier_system.cpp.o.d"
+  "CMakeFiles/cs_cluster.dir/tier_group.cpp.o"
+  "CMakeFiles/cs_cluster.dir/tier_group.cpp.o.d"
+  "CMakeFiles/cs_cluster.dir/vm.cpp.o"
+  "CMakeFiles/cs_cluster.dir/vm.cpp.o.d"
+  "libcs_cluster.a"
+  "libcs_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_common.dir/ascii_chart.cpp.o"
+  "CMakeFiles/cs_common.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/cs_common.dir/config.cpp.o"
+  "CMakeFiles/cs_common.dir/config.cpp.o.d"
+  "CMakeFiles/cs_common.dir/csv.cpp.o"
+  "CMakeFiles/cs_common.dir/csv.cpp.o.d"
+  "CMakeFiles/cs_common.dir/histogram.cpp.o"
+  "CMakeFiles/cs_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/cs_common.dir/json.cpp.o"
+  "CMakeFiles/cs_common.dir/json.cpp.o.d"
+  "CMakeFiles/cs_common.dir/logging.cpp.o"
+  "CMakeFiles/cs_common.dir/logging.cpp.o.d"
+  "CMakeFiles/cs_common.dir/stats.cpp.o"
+  "CMakeFiles/cs_common.dir/stats.cpp.o.d"
+  "libcs_common.a"
+  "libcs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/conscale/agents.cpp" "src/conscale/CMakeFiles/cs_conscale.dir/agents.cpp.o" "gcc" "src/conscale/CMakeFiles/cs_conscale.dir/agents.cpp.o.d"
+  "/root/repo/src/conscale/controller.cpp" "src/conscale/CMakeFiles/cs_conscale.dir/controller.cpp.o" "gcc" "src/conscale/CMakeFiles/cs_conscale.dir/controller.cpp.o.d"
+  "/root/repo/src/conscale/estimator_service.cpp" "src/conscale/CMakeFiles/cs_conscale.dir/estimator_service.cpp.o" "gcc" "src/conscale/CMakeFiles/cs_conscale.dir/estimator_service.cpp.o.d"
+  "/root/repo/src/conscale/framework.cpp" "src/conscale/CMakeFiles/cs_conscale.dir/framework.cpp.o" "gcc" "src/conscale/CMakeFiles/cs_conscale.dir/framework.cpp.o.d"
+  "/root/repo/src/conscale/policy.cpp" "src/conscale/CMakeFiles/cs_conscale.dir/policy.cpp.o" "gcc" "src/conscale/CMakeFiles/cs_conscale.dir/policy.cpp.o.d"
+  "/root/repo/src/conscale/threshold_rule.cpp" "src/conscale/CMakeFiles/cs_conscale.dir/threshold_rule.cpp.o" "gcc" "src/conscale/CMakeFiles/cs_conscale.dir/threshold_rule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sct/CMakeFiles/cs_sct.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tier/CMakeFiles/cs_tier.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/cs_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/cs_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

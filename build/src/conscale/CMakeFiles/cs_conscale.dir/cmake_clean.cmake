@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_conscale.dir/agents.cpp.o"
+  "CMakeFiles/cs_conscale.dir/agents.cpp.o.d"
+  "CMakeFiles/cs_conscale.dir/controller.cpp.o"
+  "CMakeFiles/cs_conscale.dir/controller.cpp.o.d"
+  "CMakeFiles/cs_conscale.dir/estimator_service.cpp.o"
+  "CMakeFiles/cs_conscale.dir/estimator_service.cpp.o.d"
+  "CMakeFiles/cs_conscale.dir/framework.cpp.o"
+  "CMakeFiles/cs_conscale.dir/framework.cpp.o.d"
+  "CMakeFiles/cs_conscale.dir/policy.cpp.o"
+  "CMakeFiles/cs_conscale.dir/policy.cpp.o.d"
+  "CMakeFiles/cs_conscale.dir/threshold_rule.cpp.o"
+  "CMakeFiles/cs_conscale.dir/threshold_rule.cpp.o.d"
+  "libcs_conscale.a"
+  "libcs_conscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_conscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

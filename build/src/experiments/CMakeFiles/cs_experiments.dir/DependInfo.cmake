@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/experiments/analytic.cpp" "src/experiments/CMakeFiles/cs_experiments.dir/analytic.cpp.o" "gcc" "src/experiments/CMakeFiles/cs_experiments.dir/analytic.cpp.o.d"
+  "/root/repo/src/experiments/json_export.cpp" "src/experiments/CMakeFiles/cs_experiments.dir/json_export.cpp.o" "gcc" "src/experiments/CMakeFiles/cs_experiments.dir/json_export.cpp.o.d"
+  "/root/repo/src/experiments/report.cpp" "src/experiments/CMakeFiles/cs_experiments.dir/report.cpp.o" "gcc" "src/experiments/CMakeFiles/cs_experiments.dir/report.cpp.o.d"
+  "/root/repo/src/experiments/runner.cpp" "src/experiments/CMakeFiles/cs_experiments.dir/runner.cpp.o" "gcc" "src/experiments/CMakeFiles/cs_experiments.dir/runner.cpp.o.d"
+  "/root/repo/src/experiments/scenario.cpp" "src/experiments/CMakeFiles/cs_experiments.dir/scenario.cpp.o" "gcc" "src/experiments/CMakeFiles/cs_experiments.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/conscale/CMakeFiles/cs_conscale.dir/DependInfo.cmake"
+  "/root/repo/build/src/sct/CMakeFiles/cs_sct.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tier/CMakeFiles/cs_tier.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/cs_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/cs_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

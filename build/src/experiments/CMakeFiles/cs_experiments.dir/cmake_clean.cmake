@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_experiments.dir/analytic.cpp.o"
+  "CMakeFiles/cs_experiments.dir/analytic.cpp.o.d"
+  "CMakeFiles/cs_experiments.dir/json_export.cpp.o"
+  "CMakeFiles/cs_experiments.dir/json_export.cpp.o.d"
+  "CMakeFiles/cs_experiments.dir/report.cpp.o"
+  "CMakeFiles/cs_experiments.dir/report.cpp.o.d"
+  "CMakeFiles/cs_experiments.dir/runner.cpp.o"
+  "CMakeFiles/cs_experiments.dir/runner.cpp.o.d"
+  "CMakeFiles/cs_experiments.dir/scenario.cpp.o"
+  "CMakeFiles/cs_experiments.dir/scenario.cpp.o.d"
+  "libcs_experiments.a"
+  "libcs_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

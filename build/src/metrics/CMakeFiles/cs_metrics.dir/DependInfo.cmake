@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/interval.cpp" "src/metrics/CMakeFiles/cs_metrics.dir/interval.cpp.o" "gcc" "src/metrics/CMakeFiles/cs_metrics.dir/interval.cpp.o.d"
+  "/root/repo/src/metrics/latency_breakdown.cpp" "src/metrics/CMakeFiles/cs_metrics.dir/latency_breakdown.cpp.o" "gcc" "src/metrics/CMakeFiles/cs_metrics.dir/latency_breakdown.cpp.o.d"
+  "/root/repo/src/metrics/monitor.cpp" "src/metrics/CMakeFiles/cs_metrics.dir/monitor.cpp.o" "gcc" "src/metrics/CMakeFiles/cs_metrics.dir/monitor.cpp.o.d"
+  "/root/repo/src/metrics/warehouse.cpp" "src/metrics/CMakeFiles/cs_metrics.dir/warehouse.cpp.o" "gcc" "src/metrics/CMakeFiles/cs_metrics.dir/warehouse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/cs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/tier/CMakeFiles/cs_tier.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/cs_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/cs_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cs_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

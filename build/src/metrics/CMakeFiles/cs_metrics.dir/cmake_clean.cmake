@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_metrics.dir/interval.cpp.o"
+  "CMakeFiles/cs_metrics.dir/interval.cpp.o.d"
+  "CMakeFiles/cs_metrics.dir/latency_breakdown.cpp.o"
+  "CMakeFiles/cs_metrics.dir/latency_breakdown.cpp.o.d"
+  "CMakeFiles/cs_metrics.dir/monitor.cpp.o"
+  "CMakeFiles/cs_metrics.dir/monitor.cpp.o.d"
+  "CMakeFiles/cs_metrics.dir/warehouse.cpp.o"
+  "CMakeFiles/cs_metrics.dir/warehouse.cpp.o.d"
+  "libcs_metrics.a"
+  "libcs_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

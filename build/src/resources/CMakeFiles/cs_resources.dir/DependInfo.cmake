@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resources/fcfs_resource.cpp" "src/resources/CMakeFiles/cs_resources.dir/fcfs_resource.cpp.o" "gcc" "src/resources/CMakeFiles/cs_resources.dir/fcfs_resource.cpp.o.d"
+  "/root/repo/src/resources/ps_resource.cpp" "src/resources/CMakeFiles/cs_resources.dir/ps_resource.cpp.o" "gcc" "src/resources/CMakeFiles/cs_resources.dir/ps_resource.cpp.o.d"
+  "/root/repo/src/resources/token_pool.cpp" "src/resources/CMakeFiles/cs_resources.dir/token_pool.cpp.o" "gcc" "src/resources/CMakeFiles/cs_resources.dir/token_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/cs_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

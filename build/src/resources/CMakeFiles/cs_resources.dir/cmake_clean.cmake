@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_resources.dir/fcfs_resource.cpp.o"
+  "CMakeFiles/cs_resources.dir/fcfs_resource.cpp.o.d"
+  "CMakeFiles/cs_resources.dir/ps_resource.cpp.o"
+  "CMakeFiles/cs_resources.dir/ps_resource.cpp.o.d"
+  "CMakeFiles/cs_resources.dir/token_pool.cpp.o"
+  "CMakeFiles/cs_resources.dir/token_pool.cpp.o.d"
+  "libcs_resources.a"
+  "libcs_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sct/estimator.cpp" "src/sct/CMakeFiles/cs_sct.dir/estimator.cpp.o" "gcc" "src/sct/CMakeFiles/cs_sct.dir/estimator.cpp.o.d"
+  "/root/repo/src/sct/scatter.cpp" "src/sct/CMakeFiles/cs_sct.dir/scatter.cpp.o" "gcc" "src/sct/CMakeFiles/cs_sct.dir/scatter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/cs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tier/CMakeFiles/cs_tier.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/cs_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/cs_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_sct.dir/estimator.cpp.o"
+  "CMakeFiles/cs_sct.dir/estimator.cpp.o.d"
+  "CMakeFiles/cs_sct.dir/scatter.cpp.o"
+  "CMakeFiles/cs_sct.dir/scatter.cpp.o.d"
+  "libcs_sct.a"
+  "libcs_sct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_sct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

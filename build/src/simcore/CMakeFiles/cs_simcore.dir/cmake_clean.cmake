@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_simcore.dir/simulation.cpp.o"
+  "CMakeFiles/cs_simcore.dir/simulation.cpp.o.d"
+  "libcs_simcore.a"
+  "libcs_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_tier.dir/server.cpp.o"
+  "CMakeFiles/cs_tier.dir/server.cpp.o.d"
+  "libcs_tier.a"
+  "libcs_tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/client.cpp" "src/workload/CMakeFiles/cs_workload.dir/client.cpp.o" "gcc" "src/workload/CMakeFiles/cs_workload.dir/client.cpp.o.d"
+  "/root/repo/src/workload/mix.cpp" "src/workload/CMakeFiles/cs_workload.dir/mix.cpp.o" "gcc" "src/workload/CMakeFiles/cs_workload.dir/mix.cpp.o.d"
+  "/root/repo/src/workload/open_loop.cpp" "src/workload/CMakeFiles/cs_workload.dir/open_loop.cpp.o" "gcc" "src/workload/CMakeFiles/cs_workload.dir/open_loop.cpp.o.d"
+  "/root/repo/src/workload/session.cpp" "src/workload/CMakeFiles/cs_workload.dir/session.cpp.o" "gcc" "src/workload/CMakeFiles/cs_workload.dir/session.cpp.o.d"
+  "/root/repo/src/workload/session_population.cpp" "src/workload/CMakeFiles/cs_workload.dir/session_population.cpp.o" "gcc" "src/workload/CMakeFiles/cs_workload.dir/session_population.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/cs_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/cs_workload.dir/trace.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/cs_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/cs_workload.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/cs_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

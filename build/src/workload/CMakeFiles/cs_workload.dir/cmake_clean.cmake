@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_workload.dir/client.cpp.o"
+  "CMakeFiles/cs_workload.dir/client.cpp.o.d"
+  "CMakeFiles/cs_workload.dir/mix.cpp.o"
+  "CMakeFiles/cs_workload.dir/mix.cpp.o.d"
+  "CMakeFiles/cs_workload.dir/open_loop.cpp.o"
+  "CMakeFiles/cs_workload.dir/open_loop.cpp.o.d"
+  "CMakeFiles/cs_workload.dir/session.cpp.o"
+  "CMakeFiles/cs_workload.dir/session.cpp.o.d"
+  "CMakeFiles/cs_workload.dir/session_population.cpp.o"
+  "CMakeFiles/cs_workload.dir/session_population.cpp.o.d"
+  "CMakeFiles/cs_workload.dir/trace.cpp.o"
+  "CMakeFiles/cs_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/cs_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/cs_workload.dir/trace_io.cpp.o.d"
+  "libcs_workload.a"
+  "libcs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

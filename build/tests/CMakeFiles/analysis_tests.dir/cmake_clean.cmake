@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/analytic_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/analytic_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/mva_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/mva_test.cpp.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_tests.dir/cluster/load_balancer_test.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/load_balancer_test.cpp.o.d"
+  "CMakeFiles/cluster_tests.dir/cluster/system_test.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/system_test.cpp.o.d"
+  "CMakeFiles/cluster_tests.dir/cluster/vm_tier_test.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/vm_tier_test.cpp.o.d"
+  "cluster_tests"
+  "cluster_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_tests.dir/common/ascii_chart_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/ascii_chart_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/csv_config_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/csv_config_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/histogram_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/histogram_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/json_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/json_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/rng_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/stats_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/stats_test.cpp.o.d"
+  "common_tests"
+  "common_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

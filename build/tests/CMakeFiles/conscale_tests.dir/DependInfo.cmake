@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/conscale/agents_test.cpp" "tests/CMakeFiles/conscale_tests.dir/conscale/agents_test.cpp.o" "gcc" "tests/CMakeFiles/conscale_tests.dir/conscale/agents_test.cpp.o.d"
+  "/root/repo/tests/conscale/controller_test.cpp" "tests/CMakeFiles/conscale_tests.dir/conscale/controller_test.cpp.o" "gcc" "tests/CMakeFiles/conscale_tests.dir/conscale/controller_test.cpp.o.d"
+  "/root/repo/tests/conscale/estimator_service_test.cpp" "tests/CMakeFiles/conscale_tests.dir/conscale/estimator_service_test.cpp.o" "gcc" "tests/CMakeFiles/conscale_tests.dir/conscale/estimator_service_test.cpp.o.d"
+  "/root/repo/tests/conscale/framework_test.cpp" "tests/CMakeFiles/conscale_tests.dir/conscale/framework_test.cpp.o" "gcc" "tests/CMakeFiles/conscale_tests.dir/conscale/framework_test.cpp.o.d"
+  "/root/repo/tests/conscale/policy_test.cpp" "tests/CMakeFiles/conscale_tests.dir/conscale/policy_test.cpp.o" "gcc" "tests/CMakeFiles/conscale_tests.dir/conscale/policy_test.cpp.o.d"
+  "/root/repo/tests/conscale/threshold_rule_test.cpp" "tests/CMakeFiles/conscale_tests.dir/conscale/threshold_rule_test.cpp.o" "gcc" "tests/CMakeFiles/conscale_tests.dir/conscale/threshold_rule_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/cs_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/conscale/CMakeFiles/cs_conscale.dir/DependInfo.cmake"
+  "/root/repo/build/src/sct/CMakeFiles/cs_sct.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/tier/CMakeFiles/cs_tier.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/cs_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/cs_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cs_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conscale_tests.dir/conscale/agents_test.cpp.o"
+  "CMakeFiles/conscale_tests.dir/conscale/agents_test.cpp.o.d"
+  "CMakeFiles/conscale_tests.dir/conscale/controller_test.cpp.o"
+  "CMakeFiles/conscale_tests.dir/conscale/controller_test.cpp.o.d"
+  "CMakeFiles/conscale_tests.dir/conscale/estimator_service_test.cpp.o"
+  "CMakeFiles/conscale_tests.dir/conscale/estimator_service_test.cpp.o.d"
+  "CMakeFiles/conscale_tests.dir/conscale/framework_test.cpp.o"
+  "CMakeFiles/conscale_tests.dir/conscale/framework_test.cpp.o.d"
+  "CMakeFiles/conscale_tests.dir/conscale/policy_test.cpp.o"
+  "CMakeFiles/conscale_tests.dir/conscale/policy_test.cpp.o.d"
+  "CMakeFiles/conscale_tests.dir/conscale/threshold_rule_test.cpp.o"
+  "CMakeFiles/conscale_tests.dir/conscale/threshold_rule_test.cpp.o.d"
+  "conscale_tests"
+  "conscale_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conscale_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

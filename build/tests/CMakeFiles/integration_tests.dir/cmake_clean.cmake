@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/properties_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/properties_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/scaling_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/scaling_test.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_tests.dir/metrics/interval_test.cpp.o"
+  "CMakeFiles/metrics_tests.dir/metrics/interval_test.cpp.o.d"
+  "CMakeFiles/metrics_tests.dir/metrics/latency_breakdown_test.cpp.o"
+  "CMakeFiles/metrics_tests.dir/metrics/latency_breakdown_test.cpp.o.d"
+  "CMakeFiles/metrics_tests.dir/metrics/monitor_test.cpp.o"
+  "CMakeFiles/metrics_tests.dir/metrics/monitor_test.cpp.o.d"
+  "CMakeFiles/metrics_tests.dir/metrics/warehouse_test.cpp.o"
+  "CMakeFiles/metrics_tests.dir/metrics/warehouse_test.cpp.o.d"
+  "metrics_tests"
+  "metrics_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resources_tests.dir/resources/fcfs_resource_test.cpp.o"
+  "CMakeFiles/resources_tests.dir/resources/fcfs_resource_test.cpp.o.d"
+  "CMakeFiles/resources_tests.dir/resources/ps_resource_test.cpp.o"
+  "CMakeFiles/resources_tests.dir/resources/ps_resource_test.cpp.o.d"
+  "CMakeFiles/resources_tests.dir/resources/token_pool_test.cpp.o"
+  "CMakeFiles/resources_tests.dir/resources/token_pool_test.cpp.o.d"
+  "resources_tests"
+  "resources_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resources_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

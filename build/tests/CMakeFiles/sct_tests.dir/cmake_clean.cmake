@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sct_tests.dir/sct/estimator_test.cpp.o"
+  "CMakeFiles/sct_tests.dir/sct/estimator_test.cpp.o.d"
+  "CMakeFiles/sct_tests.dir/sct/scatter_test.cpp.o"
+  "CMakeFiles/sct_tests.dir/sct/scatter_test.cpp.o.d"
+  "sct_tests"
+  "sct_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sct_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

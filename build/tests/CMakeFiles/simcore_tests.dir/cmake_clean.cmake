@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_tests.dir/simcore/simulation_fuzz_test.cpp.o"
+  "CMakeFiles/simcore_tests.dir/simcore/simulation_fuzz_test.cpp.o.d"
+  "CMakeFiles/simcore_tests.dir/simcore/simulation_test.cpp.o"
+  "CMakeFiles/simcore_tests.dir/simcore/simulation_test.cpp.o.d"
+  "simcore_tests"
+  "simcore_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tier_tests.dir/tier/server_test.cpp.o"
+  "CMakeFiles/tier_tests.dir/tier/server_test.cpp.o.d"
+  "tier_tests"
+  "tier_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tier_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

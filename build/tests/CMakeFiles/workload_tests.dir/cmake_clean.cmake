@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tests.dir/workload/client_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/client_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/mix_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/mix_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/open_loop_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/open_loop_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/session_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/session_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/trace_io_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/trace_io_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/trace_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/trace_test.cpp.o.d"
+  "workload_tests"
+  "workload_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

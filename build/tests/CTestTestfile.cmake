@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_tests "/root/repo/build/tests/common_tests")
+set_tests_properties(common_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;cs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(simcore_tests "/root/repo/build/tests/simcore_tests")
+set_tests_properties(simcore_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;cs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(resources_tests "/root/repo/build/tests/resources_tests")
+set_tests_properties(resources_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;23;cs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workload_tests "/root/repo/build/tests/workload_tests")
+set_tests_properties(workload_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;28;cs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tier_tests "/root/repo/build/tests/tier_tests")
+set_tests_properties(tier_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;36;cs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cluster_tests "/root/repo/build/tests/cluster_tests")
+set_tests_properties(cluster_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;39;cs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(metrics_tests "/root/repo/build/tests/metrics_tests")
+set_tests_properties(metrics_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;44;cs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(analysis_tests "/root/repo/build/tests/analysis_tests")
+set_tests_properties(analysis_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;50;cs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sct_tests "/root/repo/build/tests/sct_tests")
+set_tests_properties(sct_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;54;cs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(conscale_tests "/root/repo/build/tests/conscale_tests")
+set_tests_properties(conscale_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;58;cs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(experiments_tests "/root/repo/build/tests/experiments_tests")
+set_tests_properties(experiments_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;66;cs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_tests "/root/repo/build/tests/integration_tests")
+set_tests_properties(integration_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;71;cs_add_test;/root/repo/tests/CMakeLists.txt;0;")
