@@ -3,6 +3,8 @@
 // under-allocation from noise); large δ widens it (risking an optimum deep in
 // the ascending stage). The paper does not publish its δ; 0.05 is our
 // default. This sweep shows [Q_lower, Q_upper] as a function of δ.
+#include <optional>
+
 #include "bench_common.h"
 
 using namespace conscale;
@@ -20,12 +22,21 @@ int main(int argc, char** argv) {
   options.fixed_app_vms = 4;
   const ScatterRunResult base = collect_scatter(env.params, kDbTier, options);
 
+  const std::vector<double> deltas = {0.02, 0.03, 0.05, 0.08, 0.12, 0.20};
+  // The estimates only re-fold the shared sample set — cheap, but
+  // independent, so they ride the same fan-out helper.
+  const auto ranges = env.map<std::optional<RationalRange>>(
+      deltas.size(), [&](std::size_t i) {
+        SctParams params;
+        params.plateau_tolerance = deltas[i];
+        SctEstimator estimator(params);
+        return estimator.estimate(base.scatter);
+      });
+
   std::cout << "  delta   Q_lower  Q_upper  TPmax    descending\n";
-  for (double delta : {0.02, 0.03, 0.05, 0.08, 0.12, 0.20}) {
-    SctParams params;
-    params.plateau_tolerance = delta;
-    SctEstimator estimator(params);
-    const auto range = estimator.estimate(base.scatter);
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const double delta = deltas[i];
+    const auto& range = ranges[i];
     char buf[120];
     if (range) {
       std::snprintf(buf, sizeof(buf), "  %5.2f  %8d %8d %8.0f   %s\n", delta,

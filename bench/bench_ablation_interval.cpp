@@ -20,22 +20,34 @@ int main(int argc, char** argv) {
          "Expectation: estimates stay accurate in a band around 50 ms and "
          "degrade (or fail) at the extremes.");
 
-  // Reference: long window at the paper's 50 ms.
+  // Reference: long window at the paper's 50 ms. Collected together with the
+  // seven swept intervals in one fan-out (index 0 is the reference).
   ScatterRunOptions ref_options;
   ref_options.duration = std::min<SimDuration>(env.duration, 360.0);
   ref_options.max_users = 160.0;
   ref_options.fixed_app_vms = 4;
-  const auto reference = collect_scatter(env.params, kDbTier, ref_options);
+
+  const std::vector<double> intervals_ms = {10.0,  25.0,  50.0, 100.0,
+                                            250.0, 500.0, 1000.0};
+  const std::vector<ScatterRunResult> runs = env.map<ScatterRunResult>(
+      intervals_ms.size() + 1, [&](std::size_t i) {
+        ScatterRunOptions options = ref_options;
+        if (i > 0) {
+          options.duration = std::min<SimDuration>(env.duration, 120.0);
+          options.fine_period = intervals_ms[i - 1] * 1e-3;
+        }
+        return collect_scatter(env.params, kDbTier, options);
+      });
+
+  const ScatterRunResult& reference = runs[0];
   const int ref_q = reference.range ? reference.range->q_lower : -1;
   std::cout << "  reference (50 ms, " << ref_options.duration
             << " s): Q_lower=" << ref_q << "\n\n";
 
   std::cout << "  interval[ms]  buckets  samples  Q_lower  Q_upper  note\n";
-  for (double interval_ms : {10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0}) {
-    ScatterRunOptions options = ref_options;
-    options.duration = std::min<SimDuration>(env.duration, 120.0);
-    options.fine_period = interval_ms * 1e-3;
-    const auto run = collect_scatter(env.params, kDbTier, options);
+  for (std::size_t i = 0; i < intervals_ms.size(); ++i) {
+    const double interval_ms = intervals_ms[i];
+    const ScatterRunResult& run = runs[i + 1];
     char buf[160];
     if (run.range) {
       std::snprintf(buf, sizeof(buf),

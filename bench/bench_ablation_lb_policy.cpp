@@ -14,18 +14,28 @@ int main(int argc, char** argv) {
          "Expectation: comparable at steady state; leastconn integrates "
          "freshly added VMs more smoothly during scale-out.");
 
-  ScalingRunOptions options;
-  options.duration = env.duration;
-  for (LbPolicy policy : {LbPolicy::kLeastConnections, LbPolicy::kRoundRobin}) {
-    ScenarioParams params = env.params;
-    params.lb_policy = policy;
-    const ScalingRunResult result = run_scaling(
-        params, TraceKind::kBigSpike, FrameworkKind::kConScale, options);
+  const std::vector<LbPolicy> policies = {LbPolicy::kLeastConnections,
+                                          LbPolicy::kRoundRobin};
+  std::vector<RunSpec> specs;
+  for (LbPolicy policy : policies) {
+    RunSpec spec;
+    spec.label = "lb/" + to_string(policy);
+    spec.params = env.params;
+    spec.params.lb_policy = policy;
+    spec.trace = TraceKind::kBigSpike;
+    spec.framework = FrameworkKind::kConScale;
+    spec.options.duration = env.duration;
+    specs.push_back(spec);
+  }
+  const std::vector<ScalingRunResult> results = env.run_all(specs);
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScalingRunResult& result = results[i];
     char buf[200];
     std::snprintf(buf, sizeof(buf),
                   "  %-12s p50=%6.0fms p95=%6.0fms p99=%6.0fms max=%6.0fms "
                   "completed=%llu\n",
-                  to_string(policy).c_str(), result.p50_ms, result.p95_ms,
+                  to_string(policies[i]).c_str(), result.p50_ms, result.p95_ms,
                   result.p99_ms, result.max_rt_ms,
                   static_cast<unsigned long long>(result.requests_completed));
     std::cout << buf;

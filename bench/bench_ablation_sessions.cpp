@@ -17,18 +17,26 @@ int main(int argc, char** argv) {
          "Expectation: comparable control quality; sessions shift the class "
          "mix and think-time structure without breaking the SCT estimates.");
 
+  std::vector<RunSpec> specs;
   for (bool sessions : {false, true}) {
-    ScalingRunOptions options;
-    options.duration = env.duration;
-    options.session_workload = sessions;
-    const ScalingRunResult result =
-        run_scaling(env.params, TraceKind::kLargeVariations,
-                    FrameworkKind::kConScale, options);
+    RunSpec spec;
+    spec.label = sessions ? "markov-sessions" : "iid-draws";
+    spec.params = env.params;
+    spec.trace = TraceKind::kLargeVariations;
+    spec.framework = FrameworkKind::kConScale;
+    spec.options.duration = env.duration;
+    spec.options.session_workload = sessions;
+    specs.push_back(spec);
+  }
+  const std::vector<ScalingRunResult> results = env.run_all(specs);
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScalingRunResult& result = results[i];
     char buf[220];
     std::snprintf(buf, sizeof(buf),
                   "  %-16s p50=%6.0fms p95=%6.0fms p99=%6.0fms "
                   "sla(500ms)=%3.0f%% completed=%llu estimates=%zu\n",
-                  sessions ? "markov-sessions" : "iid-draws", result.p50_ms,
+                  specs[i].label.c_str(), result.p50_ms,
                   result.p95_ms, result.p99_ms, result.sla_500ms * 100.0,
                   static_cast<unsigned long long>(result.requests_completed),
                   result.sct_history.size());

@@ -108,25 +108,26 @@ int main(int argc, char** argv) {
   ScenarioParams two_core = env.params;
   two_core.db_cores = 2;
   two_core.work_scale = 1.0;  // profile at native fidelity
-  DcmProfile two_core_optima;
-  {
+  // Both profiling runs are independent — fan them out.
+  const auto profiles = env.map<ScatterRunResult>(2, [&](std::size_t i) {
     ScatterRunOptions po;
     po.duration = 180.0;
-    po.max_users = 260.0;     // a 2-core MySQL needs serious pressure
-    po.fixed_app_vms = 10;    // and a wide app tier to deliver it
-    const auto run = collect_scatter(two_core, kDbTier, po);
-    if (run.range) {
-      two_core_optima.tier_optimal_concurrency[kDbTier] = run.range->optimal;
+    if (i == 0) {
+      po.max_users = 260.0;  // a 2-core MySQL needs serious pressure
+      po.fixed_app_vms = 10;  // and a wide app tier to deliver it
+      return collect_scatter(two_core, kDbTier, po);
     }
-  }
-  {
-    ScatterRunOptions po;
-    po.duration = 180.0;
     po.fixed_db_vms = 4;
-    const auto run = collect_scatter(two_core, kAppTier, po);
-    if (run.range) {
-      two_core_optima.tier_optimal_concurrency[kAppTier] = run.range->optimal;
-    }
+    return collect_scatter(two_core, kAppTier, po);
+  });
+  DcmProfile two_core_optima;
+  if (profiles[0].range) {
+    two_core_optima.tier_optimal_concurrency[kDbTier] =
+        profiles[0].range->optimal;
+  }
+  if (profiles[1].range) {
+    two_core_optima.tier_optimal_concurrency[kAppTier] =
+        profiles[1].range->optimal;
   }
   for (const auto& [tier, optimum] :
        two_core_optima.tier_optimal_concurrency) {
@@ -134,8 +135,12 @@ int main(int argc, char** argv) {
               << "\n";
   }
 
-  const Outcome frozen = run_case(env, /*adapt_soft=*/false, {});
-  const Outcome adapted = run_case(env, /*adapt_soft=*/true, two_core_optima);
+  const auto outcomes = env.map<Outcome>(2, [&](std::size_t i) {
+    return i == 0 ? run_case(env, /*adapt_soft=*/false, {})
+                  : run_case(env, /*adapt_soft=*/true, two_core_optima);
+  });
+  const Outcome& frozen = outcomes[0];
+  const Outcome& adapted = outcomes[1];
 
   char buf[200];
   std::snprintf(buf, sizeof(buf),

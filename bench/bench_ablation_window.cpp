@@ -15,19 +15,27 @@ int main(int argc, char** argv) {
          "Expectation: a broad sweet spot around 1-3 min; very short windows "
          "estimate rarely (too thin), very long ones react late.");
 
-  std::cout << "  window[s]  estimates  p95[ms]  p99[ms]  completed\n";
-  for (double window : {30.0, 60.0, 120.0, 180.0, 300.0}) {
+  const std::vector<double> windows = {30.0, 60.0, 120.0, 180.0, 300.0};
+  std::vector<RunSpec> specs;
+  for (double window : windows) {
     FrameworkConfig config = make_framework_config(env.params);
     config.estimator.window = window;
-    ScalingRunOptions options;
-    options.duration = env.duration;
-    options.framework_config = config;
-    const ScalingRunResult result =
-        run_scaling(env.params, TraceKind::kLargeVariations,
-                    FrameworkKind::kConScale, options);
+    RunSpec spec;
+    spec.params = env.params;
+    spec.trace = TraceKind::kLargeVariations;
+    spec.framework = FrameworkKind::kConScale;
+    spec.options.duration = env.duration;
+    spec.options.framework_config = config;
+    specs.push_back(spec);
+  }
+  const std::vector<ScalingRunResult> results = env.run_all(specs);
+
+  std::cout << "  window[s]  estimates  p95[ms]  p99[ms]  completed\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScalingRunResult& result = results[i];
     char buf[160];
     std::snprintf(buf, sizeof(buf), "  %8.0f %10zu %8.0f %8.0f %10llu\n",
-                  window, result.sct_history.size(), result.p95_ms,
+                  windows[i], result.sct_history.size(), result.p95_ms,
                   result.p99_ms,
                   static_cast<unsigned long long>(result.requests_completed));
     std::cout << buf;

@@ -1,16 +1,22 @@
 // Shared helpers for the figure/table regeneration benches.
 //
 // Every bench binary accepts `key=value` overrides (work_scale=, duration=,
-// seed=, csv_dir=) so the full-fidelity runs can be sped up when needed.
-// All default to the paper's native scale.
+// seed=, csv_dir=, jobs=) so the full-fidelity runs can be sped up when
+// needed. All default to the paper's native scale. Multi-run benches fan
+// their independent runs across `jobs` worker threads (default: one per
+// hardware thread) through RunSet / parallel_map; results and printed
+// output are bit-identical to the serial path regardless of `jobs`.
 #pragma once
 
+#include <cstddef>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/ascii_chart.h"
 #include "common/config.h"
 #include "experiments/json_export.h"
+#include "experiments/parallel.h"
 #include "experiments/report.h"
 #include "experiments/runner.h"
 
@@ -20,6 +26,9 @@ struct BenchEnv {
   ScenarioParams params;
   SimDuration duration = 720.0;
   std::string csv_dir;
+  /// Worker threads for multi-run fan-out; 0 = one per hardware thread,
+  /// 1 = fully serial.
+  std::size_t jobs = 0;
 
   static BenchEnv from_args(int argc, char** argv) {
     const Config config = Config::from_args(argc, argv);
@@ -29,7 +38,31 @@ struct BenchEnv {
     env.params.seed = static_cast<std::uint64_t>(config.get_int("seed", 12345));
     env.duration = config.get_double("duration", 720.0);
     env.csv_dir = config.get_string("csv_dir", "");
+    const long long jobs = config.get_int("jobs", 0);
+    env.jobs = jobs > 0 ? static_cast<std::size_t>(jobs) : 0;
     return env;
+  }
+
+  /// The bench's run fan-out, honouring `jobs=`.
+  RunSet run_set() const {
+    RunSetOptions options;
+    options.jobs = jobs;
+    return RunSet(options);
+  }
+
+  /// Executes the specs (in parallel up to `jobs`) and returns results in
+  /// spec order.
+  std::vector<ScalingRunResult> run_all(
+      const std::vector<RunSpec>& specs) const {
+    return run_set().run(specs);
+  }
+
+  /// Generic fan-out for benches whose runs are not scaling runs (scatter
+  /// collections, ad-hoc cases); results come back in index order.
+  template <typename T>
+  std::vector<T> map(std::size_t n,
+                     const std::function<T(std::size_t)>& fn) const {
+    return parallel_map<T>(n, jobs, fn);
   }
 
   void maybe_dump(const std::string& stem, const ScalingRunResult& r) const {

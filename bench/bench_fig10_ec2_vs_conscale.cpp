@@ -17,12 +17,18 @@ int main(int argc, char** argv) {
   ScalingRunOptions options;
   options.duration = env.duration;
 
-  const ScalingRunResult ec2 =
-      run_scaling(env.params, TraceKind::kLargeVariations,
-                  FrameworkKind::kEc2AutoScaling, options);
-  const ScalingRunResult con =
-      run_scaling(env.params, TraceKind::kLargeVariations,
-                  FrameworkKind::kConScale, options);
+  std::vector<RunSpec> specs(2);
+  specs[0].params = env.params;
+  specs[0].trace = TraceKind::kLargeVariations;
+  specs[0].framework = FrameworkKind::kEc2AutoScaling;
+  specs[0].options = options;
+  specs[1].params = env.params;
+  specs[1].trace = TraceKind::kLargeVariations;
+  specs[1].framework = FrameworkKind::kConScale;
+  specs[1].options = options;
+  const std::vector<ScalingRunResult> results = env.run_all(specs);
+  const ScalingRunResult& ec2 = results[0];
+  const ScalingRunResult& con = results[1];
 
   print_performance_timeline(std::cout, "Fig 10(a): EC2-AutoScaling", ec2);
   print_performance_timeline(std::cout, "Fig 10(b): ConScale", con);

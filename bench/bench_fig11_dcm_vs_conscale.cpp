@@ -41,13 +41,20 @@ int main(int argc, char** argv) {
 
   FrameworkConfig dcm_config = make_framework_config(params);
   dcm_config.dcm_profile = profile;
-  ScalingRunOptions dcm_options = options;
-  dcm_options.framework_config = dcm_config;
-  const ScalingRunResult dcm =
-      run_scaling(params, TraceKind::kLargeVariations, FrameworkKind::kDcm,
-                  dcm_options);
-  const ScalingRunResult con = run_scaling(
-      params, TraceKind::kLargeVariations, FrameworkKind::kConScale, options);
+
+  std::vector<RunSpec> specs(2);
+  specs[0].params = params;
+  specs[0].trace = TraceKind::kLargeVariations;
+  specs[0].framework = FrameworkKind::kDcm;
+  specs[0].options = options;
+  specs[0].options.framework_config = dcm_config;
+  specs[1].params = params;
+  specs[1].trace = TraceKind::kLargeVariations;
+  specs[1].framework = FrameworkKind::kConScale;
+  specs[1].options = options;
+  const std::vector<ScalingRunResult> results = env.run_all(specs);
+  const ScalingRunResult& dcm = results[0];
+  const ScalingRunResult& con = results[1];
 
   print_performance_timeline(std::cout, "Fig 11(a): DCM", dcm);
   print_performance_timeline(std::cout, "Fig 11(b): ConScale", con);

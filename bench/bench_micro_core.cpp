@@ -49,6 +49,35 @@ void BM_EventCancelHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_EventCancelHeavy);
 
+void BM_EventChurnScheduleCancelFire(benchmark::State& state) {
+  // The timer-reschedule pattern every PS resource and monitor runs:
+  // schedule a completion, cancel it when the share changes, schedule a
+  // replacement — the arena's allocate/release fast path under a live queue.
+  const auto live = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  for (auto _ : state) {
+    Simulation sim;
+    std::vector<EventHandle> handles(live);
+    SimTime t = 0.0;
+    for (std::size_t i = 0; i < live; ++i) {
+      handles[i] = sim.schedule_at(t + rng.uniform(1.0, 2.0), [] {});
+    }
+    for (int round = 0; round < 64; ++round) {
+      for (std::size_t i = 0; i < live; ++i) {
+        handles[i].cancel();
+        handles[i] = sim.schedule_at(t + rng.uniform(1.0, 2.0), [] {});
+      }
+      t += 0.5;
+      sim.run_until(t);
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(live) * 64 *
+                          state.iterations());
+}
+BENCHMARK(BM_EventChurnScheduleCancelFire)->Arg(16)->Arg(256);
+
 void BM_PsResourceChurn(benchmark::State& state) {
   const auto concurrency = static_cast<int>(state.range(0));
   for (auto _ : state) {

@@ -27,25 +27,36 @@ int main(int argc, char** argv) {
   ScalingRunOptions options;
   options.duration = env.duration;
 
-  std::vector<TailRow> rows;
-  double ec2_p99_worst = 0.0, con_p99_worst = 0.0;
+  // The full 12-cell grid (6 traces × 2 frameworks) as one fan-out.
+  std::vector<RunSpec> specs;
   for (TraceKind kind : all_trace_kinds()) {
     for (FrameworkKind framework :
          {FrameworkKind::kEc2AutoScaling, FrameworkKind::kConScale}) {
-      const ScalingRunResult result =
-          run_scaling(env.params, kind, framework, options);
-      rows.push_back({result.framework_name, result.trace_name,
-                      result.p95_ms, result.p99_ms});
-      std::cout << "  ran " << result.framework_name << " on "
-                << result.trace_name << ": p95=" << static_cast<int>(result.p95_ms)
-                << "ms p99=" << static_cast<int>(result.p99_ms) << "ms, "
-                << static_cast<int>(result.sla_500ms * 100.0)
-                << "% of requests within 500 ms\n";
-      if (framework == FrameworkKind::kEc2AutoScaling) {
-        ec2_p99_worst = std::max(ec2_p99_worst, result.p99_ms);
-      } else {
-        con_p99_worst = std::max(con_p99_worst, result.p99_ms);
-      }
+      RunSpec spec;
+      spec.params = env.params;
+      spec.trace = kind;
+      spec.framework = framework;
+      spec.options = options;
+      specs.push_back(spec);
+    }
+  }
+  const std::vector<ScalingRunResult> results = env.run_all(specs);
+
+  std::vector<TailRow> rows;
+  double ec2_p99_worst = 0.0, con_p99_worst = 0.0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScalingRunResult& result = results[i];
+    rows.push_back({result.framework_name, result.trace_name,
+                    result.p95_ms, result.p99_ms});
+    std::cout << "  ran " << result.framework_name << " on "
+              << result.trace_name << ": p95=" << static_cast<int>(result.p95_ms)
+              << "ms p99=" << static_cast<int>(result.p99_ms) << "ms, "
+              << static_cast<int>(result.sla_500ms * 100.0)
+              << "% of requests within 500 ms\n";
+    if (specs[i].framework == FrameworkKind::kEc2AutoScaling) {
+      ec2_p99_worst = std::max(ec2_p99_worst, result.p99_ms);
+    } else {
+      con_p99_worst = std::max(con_p99_worst, result.p99_ms);
     }
   }
   print_tail_table(std::cout, "Table I (measured)", rows);

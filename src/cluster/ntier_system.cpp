@@ -4,7 +4,9 @@
 
 namespace conscale {
 
-NTierSystem::NTierSystem(Simulation& sim, SystemConfig config) : sim_(sim) {
+NTierSystem::NTierSystem(Simulation& sim, SystemConfig config,
+                         const RunContext* context)
+    : sim_(sim), ctx_(context ? context : &RunContext::global()) {
   if (config.tiers.empty()) {
     throw std::invalid_argument("NTierSystem: no tiers configured");
   }
@@ -15,7 +17,7 @@ NTierSystem::NTierSystem(Simulation& sim, SystemConfig config) : sim_(sim) {
   for (std::size_t i = 0; i < config.tiers.size(); ++i) {
     TierConfig tc = config.tiers[i];
     tc.tier_index = static_cast<int>(i);
-    tiers_.push_back(std::make_unique<TierGroup>(sim_, tc));
+    tiers_.push_back(std::make_unique<TierGroup>(sim_, tc, ctx_));
   }
   // Wire tier i's servers to dispatch into tier i+1's load balancer. The
   // factory form lets TierGroup hand the same wiring to VMs created later

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cluster/tier_group.h"
+#include "common/run_context.h"
 #include "simcore/simulation.h"
 #include "workload/request.h"
 
@@ -28,7 +29,13 @@ class NTierSystem {
   /// (tier index, vm) — fired whenever any tier brings a VM online.
   using VmReadyCallback = std::function<void(std::size_t, Vm&)>;
 
-  NTierSystem(Simulation& sim, SystemConfig config);
+  /// `context` (optional) scopes every tier's and VM's log output to the
+  /// owning run (see common/run_context.h); pass the run's context when
+  /// several systems share the process. It must outlive the system.
+  NTierSystem(Simulation& sim, SystemConfig config,
+              const RunContext* context = nullptr);
+
+  const RunContext& context() const { return *ctx_; }
 
   /// Client entry point: dispatch into the front tier.
   void submit(const RequestContext& ctx, std::function<void()> done);
@@ -46,6 +53,7 @@ class NTierSystem {
 
  private:
   Simulation& sim_;
+  const RunContext* ctx_;
   std::vector<std::unique_ptr<TierGroup>> tiers_;
   std::vector<VmReadyCallback> on_vm_ready_;
 };

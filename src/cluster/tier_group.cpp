@@ -2,12 +2,12 @@
 
 #include <algorithm>
 
-#include "common/logging.h"
-
 namespace conscale {
 
-TierGroup::TierGroup(Simulation& sim, TierConfig config)
-    : sim_(sim), config_(std::move(config)),
+TierGroup::TierGroup(Simulation& sim, TierConfig config,
+                     const RunContext* context)
+    : sim_(sim), ctx_(context ? context : &RunContext::global()),
+      config_(std::move(config)),
       lb_(config_.name + ".lb", config_.lb_policy),
       thread_pool_size_(config_.server_template.thread_pool_size),
       downstream_pool_size_(config_.server_template.downstream_pool_size) {}
@@ -22,11 +22,13 @@ std::unique_ptr<Vm> TierGroup::make_vm(SimDuration prep_delay) {
   params.seed = config_.server_template.seed + next_vm_number_ * 7919;
   ++next_vm_number_;
 
-  auto vm = std::make_unique<Vm>(sim_, std::move(params), prep_delay,
-                                 [this](Vm& ready) {
-                                   lb_.add_backend(&ready.server());
-                                   if (on_vm_ready_) on_vm_ready_(ready);
-                                 });
+  auto vm = std::make_unique<Vm>(
+      sim_, std::move(params), prep_delay,
+      [this](Vm& ready) {
+        lb_.add_backend(&ready.server());
+        if (on_vm_ready_) on_vm_ready_(ready);
+      },
+      ctx_);
   if (downstream_factory_) {
     vm->server().set_downstream(downstream_factory_());
   }
@@ -43,7 +45,8 @@ void TierGroup::bootstrap(std::size_t count) {
 
 bool TierGroup::scale_out() {
   if (billed_vms() >= config_.max_vms) return false;
-  CS_LOG_INFO << config_.name << ": scale-out started at t=" << sim_.now();
+  CS_RUN_LOG_INFO(*ctx_) << config_.name << ": scale-out started at t="
+                         << sim_.now();
   vms_.push_back(make_vm(config_.vm_prep_delay));
   meters_.push_back(std::make_unique<CpuMeter>());
   return true;
@@ -56,8 +59,8 @@ bool TierGroup::scale_in() {
   for (auto it = vms_.rbegin(); it != vms_.rend(); ++it) {
     Vm* vm = it->get();
     if (vm->state() == VmState::kRunning) {
-      CS_LOG_INFO << config_.name << ": draining " << vm->name()
-                  << " at t=" << sim_.now();
+      CS_RUN_LOG_INFO(*ctx_) << config_.name << ": draining " << vm->name()
+                             << " at t=" << sim_.now();
       lb_.remove_backend(&vm->server());
       vm->drain([](Vm&) {});
       return true;
@@ -75,8 +78,8 @@ bool TierGroup::set_cores(int cores) {
       vm->server().set_cores(cores);
     }
   }
-  CS_LOG_INFO << config_.name << ": vertical scaling to " << cores
-              << " cores";
+  CS_RUN_LOG_INFO(*ctx_) << config_.name << ": vertical scaling to " << cores
+                         << " cores";
   return true;
 }
 

@@ -12,6 +12,7 @@
 
 #include "cluster/load_balancer.h"
 #include "cluster/vm.h"
+#include "common/run_context.h"
 #include "simcore/simulation.h"
 #include "tier/server.h"
 
@@ -34,7 +35,10 @@ class TierGroup {
   /// soft resources to the newcomer.
   using VmReadyCallback = std::function<void(Vm&)>;
 
-  TierGroup(Simulation& sim, TierConfig config);
+  /// `context` (optional) scopes scaling/actuation log lines to the owning
+  /// run; it must outlive the tier.
+  TierGroup(Simulation& sim, TierConfig config,
+            const RunContext* context = nullptr);
 
   /// Adds `count` VMs immediately (initial topology; no preparation delay).
   void bootstrap(std::size_t count);
@@ -85,6 +89,7 @@ class TierGroup {
   std::unique_ptr<Vm> make_vm(SimDuration prep_delay);
 
   Simulation& sim_;
+  const RunContext* ctx_;
   TierConfig config_;
   LoadBalancer lb_;
   std::vector<std::unique_ptr<Vm>> vms_;

@@ -1,7 +1,5 @@
 #include "cluster/vm.h"
 
-#include "common/logging.h"
-
 namespace conscale {
 
 std::string to_string(VmState state) {
@@ -35,14 +33,15 @@ double CpuMeter::sample(SimTime now, double busy_core_seconds, int cores) {
 }
 
 Vm::Vm(Simulation& sim, Server::Params server_params, SimDuration prep_delay,
-       ReadyCallback on_ready)
-    : sim_(sim), server_(sim, std::move(server_params)) {
+       ReadyCallback on_ready, const RunContext* context)
+    : sim_(sim), ctx_(context ? context : &RunContext::global()),
+      server_(sim, std::move(server_params)) {
   sim_.schedule_after(prep_delay,
                       [this, on_ready = std::move(on_ready)]() mutable {
                         if (state_ != VmState::kProvisioning) return;
                         state_ = VmState::kRunning;
-                        CS_LOG_DEBUG << "VM " << name() << " ready at t="
-                                     << sim_.now();
+                        CS_RUN_LOG_DEBUG(*ctx_)
+                            << "VM " << name() << " ready at t=" << sim_.now();
                         if (on_ready) on_ready(*this);
                       });
 }
@@ -58,7 +57,8 @@ void Vm::check_drained() {
   if (state_ != VmState::kDraining) return;
   if (server_.in_flight() == 0) {
     state_ = VmState::kStopped;
-    CS_LOG_DEBUG << "VM " << name() << " stopped at t=" << sim_.now();
+    CS_RUN_LOG_DEBUG(*ctx_) << "VM " << name() << " stopped at t="
+                            << sim_.now();
     if (on_stopped_) {
       auto callback = std::move(on_stopped_);
       callback(*this);

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "common/run_context.h"
 #include "simcore/simulation.h"
 #include "tier/server.h"
 
@@ -42,8 +43,10 @@ class Vm {
   /// Creates the VM in Provisioning state; after `prep_delay` it transitions
   /// to Running and invokes `on_ready`. A zero delay still transitions via
   /// the event queue (deterministic ordering with other time-zero work).
+  /// `context` (optional) scopes the VM's log lines to its run; it must
+  /// outlive the VM.
   Vm(Simulation& sim, Server::Params server_params, SimDuration prep_delay,
-     ReadyCallback on_ready);
+     ReadyCallback on_ready, const RunContext* context = nullptr);
 
   Vm(const Vm&) = delete;
   Vm& operator=(const Vm&) = delete;
@@ -72,6 +75,7 @@ class Vm {
   void check_drained();
 
   Simulation& sim_;
+  const RunContext* ctx_;
   Server server_;
   VmState state_ = VmState::kProvisioning;
   bool is_bootstrap_ = false;

@@ -57,6 +57,10 @@ void Logger::set_sink(Sink sink) {
 
 void Logger::log(LogLevel level, std::string_view message) {
   if (!enabled(level)) return;
+  write(level, message);
+}
+
+void Logger::write(LogLevel level, std::string_view message) {
   std::lock_guard<std::mutex> lock(g_sink_mutex);
   sink_(level, message);
 }

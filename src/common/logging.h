@@ -1,13 +1,18 @@
 // Minimal leveled logger for the simulator and the experiment harnesses.
 //
 // Design notes:
-//  * The simulator is single-threaded (DESIGN.md §6.4), so no locking is
-//    needed on the hot path; a mutex still guards sink swaps so examples can
-//    redirect output safely.
-//  * Messages are formatted only when the level is enabled; guard macros keep
-//    the disabled-path cost to one branch.
+//  * Each simulation run is single-threaded, but several runs may execute
+//    concurrently (DESIGN.md §6.4, experiments/parallel.h). The level is a
+//    relaxed atomic so the disabled-path check stays one branch; a mutex
+//    guards the sink so concurrent runs logging through the shared default
+//    cannot interleave torn lines.
+//  * Messages are formatted only when the level is enabled.
+//  * Run-path components log through a per-run RunContext instead of this
+//    singleton (common/run_context.h); the singleton remains the default
+//    target and the one examples configure.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -26,9 +31,14 @@ class Logger {
 
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool enabled(LogLevel level) const { return level >= level_; }
+  // The level is read from every run thread on the disabled-log fast path
+  // and may be set concurrently by the host program; relaxed atomics keep
+  // that race benign without a lock.
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  bool enabled(LogLevel level) const { return level >= this->level(); }
 
   /// Replace the output sink (default: stderr). Passing nullptr restores
   /// the default sink.
@@ -36,9 +46,13 @@ class Logger {
 
   void log(LogLevel level, std::string_view message);
 
+  /// Writes through the (mutex-guarded) sink without the level gate — used
+  /// by RunContext, which applies its own per-run level first.
+  void write(LogLevel level, std::string_view message);
+
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_ = LogLevel::kWarn;
   Sink sink_;
 };
 

@@ -1,0 +1,33 @@
+#include "common/run_context.h"
+
+namespace conscale {
+
+const RunContext& RunContext::global() {
+  static const RunContext context;
+  return context;
+}
+
+void RunContext::log(LogLevel level, std::string_view message) const {
+  if (!log_enabled(level)) return;
+  if (label_.empty()) {
+    if (sink_) {
+      sink_(level, message);
+    } else {
+      Logger::instance().write(level, message);
+    }
+    return;
+  }
+  std::string prefixed;
+  prefixed.reserve(label_.size() + 3 + message.size());
+  prefixed += '[';
+  prefixed += label_;
+  prefixed += "] ";
+  prefixed += message;
+  if (sink_) {
+    sink_(level, prefixed);
+  } else {
+    Logger::instance().write(level, prefixed);
+  }
+}
+
+}  // namespace conscale

@@ -1,0 +1,100 @@
+// RunContext: per-run execution context for self-contained simulation runs.
+//
+// The simulator used to log through the process-wide Logger::instance()
+// singleton from inside the run path (VM lifecycle, tier scaling, soft
+// actuation, SCT estimates). That is fine for one run per process but wrong
+// for the parallel experiment runner (experiments/parallel.h), where N runs
+// share the process: their log lines need a per-run label and, when
+// requested, a per-run sink and level — without any cross-run shared state
+// on the hot path.
+//
+// A RunContext carries exactly that: an optional label (prefixed to every
+// line), an optional level override, and an optional sink override. A
+// default-constructed context delegates level and output to the global
+// Logger, so examples and tests that never touch RunContext keep the
+// singleton behaviour unchanged; the global default sink is mutex-guarded,
+// so concurrent runs logging through it cannot interleave torn lines.
+//
+// Ownership rule: the RunContext must outlive every component constructed
+// with it (it is typically a field of the run's options object, which lives
+// across the whole run). Components store a pointer and never copy it.
+#pragma once
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "common/logging.h"
+
+namespace conscale {
+
+class RunContext {
+ public:
+  using Sink = Logger::Sink;
+
+  RunContext() = default;
+
+  /// Shared default context: no label, level and sink delegate to the
+  /// global Logger. Used by every component constructed without an explicit
+  /// context.
+  static const RunContext& global();
+
+  const std::string& label() const { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+  /// Per-run level override; unset delegates to Logger::instance().level().
+  void set_log_level(LogLevel level) { level_ = level; }
+  LogLevel log_level() const {
+    return level_ ? *level_ : Logger::instance().level();
+  }
+  bool log_enabled(LogLevel level) const { return level >= log_level(); }
+
+  /// Per-run sink override; unset routes through the global (mutex-guarded)
+  /// sink. A per-run sink is called only from the run's own thread, so it
+  /// needs no locking of its own.
+  void set_log_sink(Sink sink) { sink_ = std::move(sink); }
+
+  void log(LogLevel level, std::string_view message) const;
+
+ private:
+  std::optional<LogLevel> level_;
+  Sink sink_;
+  std::string label_;
+};
+
+namespace detail {
+/// Stream-style one-shot message builder for the CS_RUN_LOG macros.
+class RunLogMessage {
+ public:
+  RunLogMessage(const RunContext& context, LogLevel level)
+      : context_(context), level_(level) {}
+  ~RunLogMessage() { context_.log(level_, stream_.str()); }
+  RunLogMessage(const RunLogMessage&) = delete;
+  RunLogMessage& operator=(const RunLogMessage&) = delete;
+
+  template <typename T>
+  RunLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const RunContext& context_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace conscale
+
+#define CS_RUN_LOG(ctx, level)            \
+  if (!(ctx).log_enabled(level)) {        \
+  } else                                  \
+    ::conscale::detail::RunLogMessage((ctx), level)
+
+#define CS_RUN_LOG_TRACE(ctx) CS_RUN_LOG(ctx, ::conscale::LogLevel::kTrace)
+#define CS_RUN_LOG_DEBUG(ctx) CS_RUN_LOG(ctx, ::conscale::LogLevel::kDebug)
+#define CS_RUN_LOG_INFO(ctx) CS_RUN_LOG(ctx, ::conscale::LogLevel::kInfo)
+#define CS_RUN_LOG_WARN(ctx) CS_RUN_LOG(ctx, ::conscale::LogLevel::kWarn)
+#define CS_RUN_LOG_ERROR(ctx) CS_RUN_LOG(ctx, ::conscale::LogLevel::kError)

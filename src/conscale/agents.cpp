@@ -1,11 +1,11 @@
 #include "conscale/agents.h"
 
-#include "common/logging.h"
-
 namespace conscale {
 
-HardwareAgent::HardwareAgent(Simulation& sim, NTierSystem& system)
-    : sim_(sim), system_(system) {}
+HardwareAgent::HardwareAgent(Simulation& sim, NTierSystem& system,
+                             const RunContext* context)
+    : sim_(sim), system_(system),
+      ctx_(context ? context : &RunContext::global()) {}
 
 bool HardwareAgent::scale_out(std::size_t tier_index) {
   TierGroup& tier = system_.tier(tier_index);
@@ -31,8 +31,10 @@ bool HardwareAgent::scale_vertical(std::size_t tier_index, int cores) {
   return true;
 }
 
-SoftwareAgent::SoftwareAgent(Simulation& sim, NTierSystem& system)
-    : sim_(sim), system_(system) {}
+SoftwareAgent::SoftwareAgent(Simulation& sim, NTierSystem& system,
+                             const RunContext* context)
+    : sim_(sim), system_(system),
+      ctx_(context ? context : &RunContext::global()) {}
 
 void SoftwareAgent::set_tier_threads(std::size_t tier_index,
                                      std::size_t size) {
@@ -40,8 +42,8 @@ void SoftwareAgent::set_tier_threads(std::size_t tier_index,
   if (tier.thread_pool_size() == size) return;  // idempotent
   events_.push_back({sim_.now(), tier.name(), "threads",
                      static_cast<double>(size)});
-  CS_LOG_INFO << tier.name() << ": thread pool -> " << size
-              << " at t=" << sim_.now();
+  CS_RUN_LOG_INFO(*ctx_) << tier.name() << ": thread pool -> " << size
+                         << " at t=" << sim_.now();
   sim_.schedule_after(params_.actuation_delay, [&tier, size] {
     tier.set_thread_pool_size(size);
   });
@@ -53,8 +55,8 @@ void SoftwareAgent::set_tier_downstream_pool(std::size_t tier_index,
   if (tier.downstream_pool_size() == size) return;
   events_.push_back({sim_.now(), tier.name(), "dbconn",
                      static_cast<double>(size)});
-  CS_LOG_INFO << tier.name() << ": downstream pool -> " << size
-              << " at t=" << sim_.now();
+  CS_RUN_LOG_INFO(*ctx_) << tier.name() << ": downstream pool -> " << size
+                         << " at t=" << sim_.now();
   sim_.schedule_after(params_.actuation_delay, [&tier, size] {
     tier.set_downstream_pool_size(size);
   });

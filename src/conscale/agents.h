@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cluster/ntier_system.h"
+#include "common/run_context.h"
 #include "simcore/simulation.h"
 
 namespace conscale {
@@ -24,7 +25,8 @@ struct ScalingEvent {
 
 class HardwareAgent {
  public:
-  HardwareAgent(Simulation& sim, NTierSystem& system);
+  HardwareAgent(Simulation& sim, NTierSystem& system,
+                const RunContext* context = nullptr);
 
   /// Returns true if the scale-out was initiated (VM begins provisioning).
   bool scale_out(std::size_t tier_index);
@@ -40,6 +42,7 @@ class HardwareAgent {
  private:
   Simulation& sim_;
   NTierSystem& system_;
+  const RunContext* ctx_;
   std::vector<ScalingEvent> events_;
 };
 
@@ -49,7 +52,8 @@ class SoftwareAgent {
     SimDuration actuation_delay = 0.1;  ///< JMX round-trip + pool adjustment
   };
 
-  SoftwareAgent(Simulation& sim, NTierSystem& system);
+  SoftwareAgent(Simulation& sim, NTierSystem& system,
+                const RunContext* context = nullptr);
 
   /// Sets every server in the tier's worker thread pool to `size`.
   void set_tier_threads(std::size_t tier_index, std::size_t size);
@@ -62,6 +66,7 @@ class SoftwareAgent {
  private:
   Simulation& sim_;
   NTierSystem& system_;
+  const RunContext* ctx_;
   Params params_;
   std::vector<ScalingEvent> events_;
 };

@@ -2,16 +2,16 @@
 
 #include <cmath>
 
-#include "common/logging.h"
 #include "sct/scatter.h"
 
 namespace conscale {
 
 ConcurrencyEstimatorService::ConcurrencyEstimatorService(
     Simulation& sim, NTierSystem& system, const MetricsWarehouse& warehouse,
-    EstimatorServiceParams params)
-    : sim_(sim), system_(system), warehouse_(warehouse), params_(params),
-      estimator_(params.sct) {
+    EstimatorServiceParams params, const RunContext* context)
+    : sim_(sim), system_(system),
+      ctx_(context ? context : &RunContext::global()), warehouse_(warehouse),
+      params_(params), estimator_(params.sct) {
   refresh_task_ = std::make_unique<PeriodicTask>(
       sim_, params_.refresh, [this](SimTime now) { refresh(now); });
 }
@@ -61,9 +61,10 @@ void ConcurrencyEstimatorService::refresh(SimTime now) {
     }
     cache_[tier.name()] = *range;
     history_.push_back({now, tier.name(), *range});
-    CS_LOG_DEBUG << "SCT " << tier.name() << ": Q_lower=" << range->q_lower
-                 << " Q_upper=" << range->q_upper
-                 << " TPmax=" << range->tp_max << " at t=" << now;
+    CS_RUN_LOG_DEBUG(*ctx_)
+        << "SCT " << tier.name() << ": Q_lower=" << range->q_lower
+        << " Q_upper=" << range->q_upper << " TPmax=" << range->tp_max
+        << " at t=" << now;
   }
 }
 

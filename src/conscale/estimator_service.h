@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cluster/ntier_system.h"
+#include "common/run_context.h"
 #include "metrics/warehouse.h"
 #include "sct/estimator.h"
 #include "simcore/simulation.h"
@@ -37,7 +38,8 @@ class ConcurrencyEstimatorService {
  public:
   ConcurrencyEstimatorService(Simulation& sim, NTierSystem& system,
                               const MetricsWarehouse& warehouse,
-                              EstimatorServiceParams params);
+                              EstimatorServiceParams params,
+                              const RunContext* context = nullptr);
 
   /// Latest cached estimate for a tier, if any estimation has succeeded.
   std::optional<RationalRange> tier_estimate(
@@ -62,6 +64,7 @@ class ConcurrencyEstimatorService {
 
   Simulation& sim_;
   NTierSystem& system_;
+  const RunContext* ctx_;
   const MetricsWarehouse& warehouse_;
   EstimatorServiceParams params_;
   SctEstimator estimator_;

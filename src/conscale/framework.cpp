@@ -18,10 +18,11 @@ std::string to_string(FrameworkKind kind) {
 
 ScalingFramework::ScalingFramework(Simulation& sim, NTierSystem& system,
                                    MetricsWarehouse& warehouse,
-                                   FrameworkKind kind, FrameworkConfig config)
+                                   FrameworkKind kind, FrameworkConfig config,
+                                   const RunContext* context)
     : kind_(kind), name_(to_string(kind)) {
-  hw_ = std::make_unique<HardwareAgent>(sim, system);
-  sw_ = std::make_unique<SoftwareAgent>(sim, system);
+  hw_ = std::make_unique<HardwareAgent>(sim, system, context);
+  sw_ = std::make_unique<SoftwareAgent>(sim, system, context);
   switch (kind_) {
     case FrameworkKind::kEc2AutoScaling:
       policy_ = std::make_unique<Ec2AutoScalingPolicy>();
@@ -32,7 +33,7 @@ ScalingFramework::ScalingFramework(Simulation& sim, NTierSystem& system,
       break;
     case FrameworkKind::kConScale:
       estimator_ = std::make_unique<ConcurrencyEstimatorService>(
-          sim, system, warehouse, config.estimator);
+          sim, system, warehouse, config.estimator, context);
       policy_ = std::make_unique<ConScalePolicy>(system, *sw_, config.targets,
                                                  *estimator_,
                                                  config.conscale_headroom);

@@ -30,9 +30,12 @@ struct FrameworkConfig {
 
 class ScalingFramework {
  public:
+  /// `context` (optional) scopes the framework's components' log output to
+  /// the owning run; it must outlive the framework.
   ScalingFramework(Simulation& sim, NTierSystem& system,
                    MetricsWarehouse& warehouse, FrameworkKind kind,
-                   FrameworkConfig config);
+                   FrameworkConfig config,
+                   const RunContext* context = nullptr);
 
   FrameworkKind kind() const { return kind_; }
   const std::string& name() const { return name_; }

@@ -45,19 +45,20 @@ ScalingRunResult run_scaling(const ScenarioParams& params,
     mix.apply_dataset_scale(options.runtime_dataset_scale);
   }
 
-  NTierSystem system(sim, params.system_config());
+  const RunContext* ctx = &options.context;
+  NTierSystem system(sim, params.system_config(), ctx);
   auto warehouse = std::make_shared<MetricsWarehouse>();
   MonitoringParams monitoring = options.monitoring;
   // Keep the fine interval matched to the service-demand scale (see the
   // same adjustment in collect_scatter): at work_scale k, "50 ms" means
   // 50k ms or each window holds k× fewer completions than the paper's.
   monitoring.fine_period *= params.work_scale;
-  MonitoringAgent monitor(sim, system, *warehouse, monitoring);
+  MonitoringAgent monitor(sim, system, *warehouse, monitoring, ctx);
 
   FrameworkConfig config = options.framework_config
                                ? *options.framework_config
                                : make_framework_config(params);
-  ScalingFramework framework(sim, system, *warehouse, kind, config);
+  ScalingFramework framework(sim, system, *warehouse, kind, config, ctx);
 
   auto submit_fn = [&system](const RequestContext& ctx,
                              std::function<void()> done) {
@@ -214,7 +215,7 @@ ScatterRunResult collect_scatter(const ScenarioParams& params,
 
   Simulation sim;
   RequestMix mix = p.make_mix();
-  NTierSystem system(sim, p.system_config());
+  NTierSystem system(sim, p.system_config(), &options.context);
   auto warehouse = std::make_shared<MetricsWarehouse>();
   MonitoringParams mp;
   // The 50 ms interval is matched to the paper's sub-millisecond service
@@ -222,7 +223,7 @@ ScatterRunResult collect_scatter(const ScenarioParams& params,
   // must stretch with it or per-window completion counts (and thus the
   // statistical quality of each {Q,TP} tuple) collapse.
   mp.fine_period = options.fine_period * p.work_scale;
-  MonitoringAgent monitor(sim, system, *warehouse, mp);
+  MonitoringAgent monitor(sim, system, *warehouse, mp, &options.context);
 
   ClientPopulation::Params cp;
   cp.think_time_mean = 0.0;

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/run_context.h"
 #include "conscale/framework.h"
 #include "experiments/scenario.h"
 #include "metrics/monitor.h"
@@ -42,6 +43,12 @@ struct ScalingRunOptions {
   /// the short-range correlation of real navigation; the population still
   /// tracks the trace.
   bool session_workload = false;
+  /// Per-run execution context (log label/level/sink). Default-constructed
+  /// it behaves exactly like the process-wide Logger; the parallel runner
+  /// sets a label per run so concurrent log lines stay attributable. The
+  /// options object must outlive the run (it always does: run_scaling takes
+  /// it by reference for the whole run).
+  RunContext context;
 };
 
 struct ScalingRunResult {
@@ -113,6 +120,8 @@ struct ScatterRunOptions {
   std::size_t fixed_app_vms = 1;
   std::size_t fixed_db_vms = 1;
   SctParams sct;
+  /// Per-run execution context; see ScalingRunOptions::context.
+  RunContext context;
 };
 
 struct ScatterRunResult {

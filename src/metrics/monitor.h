@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cluster/ntier_system.h"
+#include "common/run_context.h"
 #include "metrics/interval.h"
 #include "metrics/warehouse.h"
 #include "simcore/simulation.h"
@@ -26,8 +27,11 @@ class MonitoringAgent {
  public:
   using Params = MonitoringParams;
 
+  /// `context` (optional) scopes the agent's diagnostics to the owning run;
+  /// it must outlive the agent.
   MonitoringAgent(Simulation& sim, NTierSystem& system,
-                  MetricsWarehouse& warehouse, Params params = {});
+                  MetricsWarehouse& warehouse, Params params = {},
+                  const RunContext* context = nullptr);
 
   /// Wire this to the client population's completion hook.
   void on_client_completion(SimTime issued, double rt);
@@ -40,6 +44,7 @@ class MonitoringAgent {
 
   Simulation& sim_;
   NTierSystem& system_;
+  const RunContext* ctx_;
   MetricsWarehouse& warehouse_;
   Params params_;
   std::vector<std::unique_ptr<IntervalAggregator>> aggregators_;

@@ -3,15 +3,25 @@
 // Events are heap-ordered by (time, sequence); the sequence number makes
 // ordering of simultaneous events deterministic (FIFO in scheduling order),
 // which the reproduction relies on for bit-for-bit repeatable runs.
-// Cancellation is lazy: EventHandle flips a flag, the queue drops the entry
-// when it surfaces. This keeps cancel() O(1), which matters because the
-// processor-sharing resource cancels and reschedules completions every time
-// its active set changes.
+//
+// Storage: callbacks live in an EventArena owned by the Simulation — a
+// slot + generation pool with a free list, so scheduling an event on a warm
+// simulation performs no heap allocation (the dominant cost of the old
+// one-shared_ptr-per-event scheme; the processor-sharing resource cancels
+// and reschedules completions every time its active set changes, so the
+// schedule/cancel path is the hottest in the kernel). An EventHandle is a
+// {slot index, generation} pair: the generation check makes handles to
+// fired or cancelled-and-reused slots inert, keeping cancel() O(1) and lazy
+// (the queue drops cancelled entries when they surface).
+//
+// Lifetime rule: a handle must not be used after the Simulation that issued
+// it is destroyed (handles are meant to be held by model objects, whose
+// lifetime is bounded by the run's).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
+#include <vector>
 
 #include "common/time_units.h"
 
@@ -20,37 +30,104 @@ namespace conscale {
 using EventCallback = std::function<void()>;
 
 namespace detail {
-struct EventState {
-  EventCallback callback;
-  bool cancelled = false;
-};
-}  // namespace detail
 
-/// Handle to a scheduled event; cheap to copy, safe to outlive the event.
-class EventHandle {
+/// Slot + generation pool for scheduled-event state. Owned by Simulation;
+/// one slot per in-queue event, recycled through a free list.
+class EventArena {
  public:
-  EventHandle() = default;
-  explicit EventHandle(std::weak_ptr<detail::EventState> state)
-      : state_(std::move(state)) {}
+  static constexpr std::uint32_t kNone = 0xffffffffu;
 
-  /// Cancels the event if it has not fired yet. Returns true if this call
-  /// performed the cancellation.
-  bool cancel() {
-    if (auto s = state_.lock(); s && !s->cancelled) {
-      s->cancelled = true;
-      return true;
+  /// Claims a slot for `callback`; returns its index. Reuses a free slot if
+  /// available, otherwise grows the pool.
+  std::uint32_t allocate(EventCallback callback) {
+    std::uint32_t index;
+    if (free_head_ != kNone) {
+      index = free_head_;
+      free_head_ = slots_[index].next_free;
+      slots_[index].callback = std::move(callback);
+      slots_[index].cancelled = false;
+    } else {
+      index = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(Slot{std::move(callback), kNone, 0, false});
     }
-    return false;
+    return index;
   }
 
-  /// True while the event is scheduled and not cancelled.
-  bool pending() const {
-    auto s = state_.lock();
-    return s && !s->cancelled;
+  /// Releases a slot: bumps the generation (invalidating outstanding
+  /// handles), drops the callback, and returns the slot to the free list.
+  void release(std::uint32_t index) {
+    Slot& slot = slots_[index];
+    ++slot.generation;
+    slot.callback = nullptr;
+    slot.cancelled = true;
+    slot.next_free = free_head_;
+    free_head_ = index;
+  }
+
+  std::uint32_t generation(std::uint32_t index) const {
+    return slots_[index].generation;
+  }
+
+  bool cancelled(std::uint32_t index) const {
+    return slots_[index].cancelled;
+  }
+
+  /// Moves the callback out of a slot (caller releases afterwards).
+  EventCallback take_callback(std::uint32_t index) {
+    return std::move(slots_[index].callback);
+  }
+
+  /// O(1) lazy cancel; returns true if this call performed the cancellation.
+  bool cancel(std::uint32_t index, std::uint32_t generation) {
+    if (index >= slots_.size()) return false;
+    Slot& slot = slots_[index];
+    if (slot.generation != generation || slot.cancelled) return false;
+    slot.cancelled = true;
+    return true;
+  }
+
+  bool pending(std::uint32_t index, std::uint32_t generation) const {
+    if (index >= slots_.size()) return false;
+    const Slot& slot = slots_[index];
+    return slot.generation == generation && !slot.cancelled;
   }
 
  private:
-  std::weak_ptr<detail::EventState> state_;
+  struct Slot {
+    EventCallback callback;
+    std::uint32_t next_free = kNone;
+    std::uint32_t generation = 0;
+    bool cancelled = false;
+  };
+
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNone;
+};
+
+}  // namespace detail
+
+/// Handle to a scheduled event; cheap to copy, safe to outlive the event
+/// (but not the Simulation).
+class EventHandle {
+ public:
+  EventHandle() = default;
+  EventHandle(detail::EventArena* arena, std::uint32_t index,
+              std::uint32_t generation)
+      : arena_(arena), index_(index), generation_(generation) {}
+
+  /// Cancels the event if it has not fired yet. Returns true if this call
+  /// performed the cancellation.
+  bool cancel() { return arena_ && arena_->cancel(index_, generation_); }
+
+  /// True while the event is scheduled and not cancelled.
+  bool pending() const {
+    return arena_ && arena_->pending(index_, generation_);
+  }
+
+ private:
+  detail::EventArena* arena_ = nullptr;
+  std::uint32_t index_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 }  // namespace conscale

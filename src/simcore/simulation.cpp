@@ -6,12 +6,12 @@
 namespace conscale {
 
 EventHandle Simulation::schedule_at(SimTime when, EventCallback callback) {
-  auto state = std::make_shared<detail::EventState>();
-  state->callback = std::move(callback);
-  QueuedEvent entry{std::max(when, now_), next_sequence_++, state};
-  queue_.push(std::move(entry));
+  const std::uint32_t slot = arena_.allocate(std::move(callback));
+  const std::uint32_t generation = arena_.generation(slot);
+  queue_.push(QueuedEvent{std::max(when, now_), next_sequence_++, slot,
+                          generation});
   ++live_events_;
-  return EventHandle(state);
+  return EventHandle(&arena_, slot, generation);
 }
 
 EventHandle Simulation::schedule_after(SimDuration delay,
@@ -19,19 +19,27 @@ EventHandle Simulation::schedule_after(SimDuration delay,
   return schedule_at(now_ + std::max(delay, 0.0), std::move(callback));
 }
 
+void Simulation::pop_and_release() {
+  arena_.release(queue_.top().slot);
+  queue_.pop();
+  --live_events_;
+}
+
 bool Simulation::step() {
   while (!queue_.empty()) {
-    QueuedEvent entry = queue_.top();
-    queue_.pop();
-    --live_events_;
-    if (entry.state->cancelled) continue;
+    const QueuedEvent entry = queue_.top();
+    if (arena_.cancelled(entry.slot)) {
+      pop_and_release();
+      continue;
+    }
     now_ = entry.time;
     ++executed_;
-    // Mark fired so a handle held by the callback's owner reports !pending().
-    entry.state->cancelled = true;
-    // Move the callback out so self-rescheduling callbacks can't be clobbered
-    // by queue growth.
-    EventCallback callback = std::move(entry.state->callback);
+    // Move the callback out and recycle the slot before invoking: a handle
+    // held by the callback's owner reports !pending() during the call (the
+    // generation already moved on), and the callback may schedule freely —
+    // including reusing this very slot — without touching freed state.
+    EventCallback callback = arena_.take_callback(entry.slot);
+    pop_and_release();
     callback();
     return true;
   }
@@ -41,9 +49,8 @@ bool Simulation::step() {
 void Simulation::run_until(SimTime deadline) {
   while (!queue_.empty()) {
     // Skip cancelled entries without advancing the clock.
-    if (queue_.top().state->cancelled) {
-      queue_.pop();
-      --live_events_;
+    if (arena_.cancelled(queue_.top().slot)) {
+      pop_and_release();
       continue;
     }
     if (queue_.top().time > deadline) break;

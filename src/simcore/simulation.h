@@ -1,7 +1,10 @@
 // The discrete-event simulation kernel: a virtual clock and a deterministic
 // event queue. Single-threaded by design (see DESIGN.md §6.4); the model is
 // concurrent, the engine is not, which gives reproducible experiments and a
-// trivially race-free substrate.
+// trivially race-free substrate. Each Simulation is fully self-contained
+// (its event arena and queue are instance state, no globals), so
+// independent runs are thread-safe by isolation and can execute
+// concurrently — see experiments/parallel.h for the run-level fan-out.
 #pragma once
 
 #include <cstdint>
@@ -49,17 +52,22 @@ class Simulation {
   struct QueuedEvent {
     SimTime time;
     std::uint64_t sequence;
-    std::shared_ptr<detail::EventState> state;
+    std::uint32_t slot;
+    std::uint32_t generation;
     bool operator>(const QueuedEvent& other) const {
       if (time != other.time) return time > other.time;
       return sequence > other.sequence;
     }
   };
 
+  /// Pops the queue head and recycles its arena slot.
+  void pop_and_release();
+
   SimTime now_ = 0.0;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t live_events_ = 0;
+  detail::EventArena arena_;
   std::priority_queue<QueuedEvent, std::vector<QueuedEvent>,
                       std::greater<QueuedEvent>>
       queue_;

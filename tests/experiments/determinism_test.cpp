@@ -1,0 +1,122 @@
+// Regression tests for the self-contained-run guarantee: the same RunSpec
+// must produce bit-identical results whether executed serially, twice in a
+// row, or fanned out across RunSet worker threads. Any mutable global state
+// creeping back onto the run path (a shared RNG, a logger-owned level gate,
+// a static cache) shows up here as a timeline mismatch.
+#include "experiments/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace conscale {
+namespace {
+
+ScenarioParams quick_params() {
+  ScenarioParams p = ScenarioParams::paper_default();
+  p.work_scale = 16.0;
+  p.seed = 4242;
+  return p;
+}
+
+RunSpec quick_spec() {
+  RunSpec spec;
+  spec.params = quick_params();
+  spec.trace = TraceKind::kBigSpike;
+  spec.framework = FrameworkKind::kConScale;
+  spec.options.duration = 60.0;
+  return spec;
+}
+
+TEST(Determinism, SerialRepeatIsBitIdentical) {
+  const RunSpec spec = quick_spec();
+  const ScalingRunResult first = RunSet::run_one(spec);
+  const ScalingRunResult second = RunSet::run_one(spec);
+  std::string diff;
+  EXPECT_TRUE(results_equivalent(first, second, &diff)) << diff;
+}
+
+TEST(Determinism, ParallelRunSetMatchesSerial) {
+  // Four copies of the same spec on four threads plus a serial baseline:
+  // every copy must reproduce the baseline exactly, even while the other
+  // copies run concurrently on other threads.
+  const RunSpec spec = quick_spec();
+  const ScalingRunResult baseline = RunSet::run_one(spec);
+
+  RunSetOptions options;
+  options.jobs = 4;
+  const RunSet set(options);
+  const std::vector<RunSpec> specs(4, spec);
+  const std::vector<ScalingRunResult> results = set.run(specs);
+  ASSERT_EQ(results.size(), 4u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::string diff;
+    EXPECT_TRUE(results_equivalent(results[i], baseline, &diff))
+        << "spec copy " << i << ": " << diff;
+  }
+}
+
+TEST(Determinism, MixedSpecsKeepSpecOrder) {
+  RunSpec a = quick_spec();
+  RunSpec b = quick_spec();
+  b.framework = FrameworkKind::kEc2AutoScaling;
+  RunSpec c = quick_spec();
+  c.trace = TraceKind::kDualPhase;
+
+  RunSetOptions options;
+  options.jobs = 3;
+  // deterministic mode re-runs each spec serially inside run() and throws
+  // on any mismatch — the self-checking path the CI smoke runs use.
+  options.deterministic = true;
+  const std::vector<ScalingRunResult> results =
+      RunSet(options).run({a, b, c});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].framework_name, "ConScale");
+  EXPECT_EQ(results[1].framework_name, "EC2-AutoScaling");
+  EXPECT_EQ(results[2].trace_name, "dual_phase");
+}
+
+TEST(Determinism, ResultsEquivalentFlagsDifferences) {
+  const RunSpec spec = quick_spec();
+  RunSpec other = spec;
+  other.params.seed = spec.params.seed + 1;
+  const ScalingRunResult x = RunSet::run_one(spec);
+  const ScalingRunResult y = RunSet::run_one(other);
+  std::string diff;
+  EXPECT_FALSE(results_equivalent(x, y, &diff));
+  EXPECT_FALSE(diff.empty());
+}
+
+TEST(ParallelFor, RethrowsLowestFailingIndex) {
+  EXPECT_THROW(
+      detail::parallel_for(8, 4,
+                           [](std::size_t i) {
+                             if (i == 2 || i == 5) {
+                               throw std::runtime_error("boom " +
+                                                        std::to_string(i));
+                             }
+                           }),
+      std::runtime_error);
+  try {
+    detail::parallel_for(8, 4, [](std::size_t i) {
+      if (i == 2 || i == 5) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 2");
+  }
+}
+
+TEST(ParallelMap, OrdersResultsByIndex) {
+  const auto values = parallel_map<std::size_t>(
+      64, 4, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(values.size(), 64u);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i], i * i);
+  }
+}
+
+}  // namespace
+}  // namespace conscale
