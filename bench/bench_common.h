@@ -1,15 +1,20 @@
 // Shared helpers for the figure/table regeneration benches.
 //
 // Every bench binary accepts `key=value` overrides (work_scale=, duration=,
-// seed=, csv_dir=, jobs=) so the full-fidelity runs can be sped up when
-// needed. All default to the paper's native scale. Multi-run benches fan
-// their independent runs across `jobs` worker threads (default: one per
-// hardware thread) through RunSet / parallel_map; results and printed
-// output are bit-identical to the serial path regardless of `jobs`.
+// seed=, csv_dir=, jobs=, faults=) so the full-fidelity runs can be sped up
+// when needed. All default to the paper's native scale. Unknown keys abort
+// with the list of valid ones — a mistyped knob must not silently run the
+// default. Multi-run benches fan their independent runs across `jobs`
+// worker threads (default: one per hardware thread) through RunSet /
+// parallel_map; results and printed output are bit-identical to the serial
+// path regardless of `jobs`.
 #pragma once
 
 #include <cstddef>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -29,9 +34,22 @@ struct BenchEnv {
   /// Worker threads for multi-run fan-out; 0 = one per hardware thread,
   /// 1 = fully serial.
   std::size_t jobs = 0;
+  /// Optional fault schedule (faults= inline text, or faults=@file); empty
+  /// for the standard fault-free benches. Applied to every scaling run
+  /// (run_all / scaling_options); profiling and scatter benches have no
+  /// system to perturb and ignore it.
+  FaultPlan faults;
 
-  static BenchEnv from_args(int argc, char** argv) {
+  /// Parses and validates the common bench keys. Benches with extra knobs
+  /// pass them in `extra_keys`; anything else on the command line aborts
+  /// with the list of valid keys.
+  static BenchEnv from_args(int argc, char** argv,
+                            const std::vector<std::string>& extra_keys = {}) {
     const Config config = Config::from_args(argc, argv);
+    std::vector<std::string> known = {"work_scale", "seed",  "duration",
+                                      "csv_dir",    "jobs", "faults"};
+    known.insert(known.end(), extra_keys.begin(), extra_keys.end());
+    config.require_known_keys(known);
     BenchEnv env;
     env.params = ScenarioParams::paper_default();
     env.params.work_scale = config.get_double("work_scale", 1.0);
@@ -40,6 +58,21 @@ struct BenchEnv {
     env.csv_dir = config.get_string("csv_dir", "");
     const long long jobs = config.get_int("jobs", 0);
     env.jobs = jobs > 0 ? static_cast<std::size_t>(jobs) : 0;
+    const std::string faults = config.get_string("faults", "");
+    if (!faults.empty()) {
+      if (faults.front() == '@') {
+        std::ifstream in(faults.substr(1));
+        if (!in) {
+          throw std::runtime_error("faults=: cannot open " +
+                                   faults.substr(1));
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        env.faults = FaultPlan::parse(text.str());
+      } else {
+        env.faults = FaultPlan::parse(faults);
+      }
+    }
     return env;
   }
 
@@ -50,10 +83,26 @@ struct BenchEnv {
     return RunSet(options);
   }
 
+  /// Standard per-run options: the bench duration plus the command-line
+  /// fault schedule. Benches that build ScalingRunOptions by hand should
+  /// start from this so `faults=` works on them too.
+  ScalingRunOptions scaling_options() const {
+    ScalingRunOptions options;
+    options.duration = duration;
+    options.faults = faults;
+    return options;
+  }
+
   /// Executes the specs (in parallel up to `jobs`) and returns results in
-  /// spec order.
-  std::vector<ScalingRunResult> run_all(
-      const std::vector<RunSpec>& specs) const {
+  /// spec order. A `faults=` schedule from the command line is applied to
+  /// every spec that does not already carry its own plan (a bench's explicit
+  /// plan — e.g. bench_resilience's scenarios — wins).
+  std::vector<ScalingRunResult> run_all(std::vector<RunSpec> specs) const {
+    if (!faults.empty()) {
+      for (RunSpec& spec : specs) {
+        if (spec.options.faults.empty()) spec.options.faults = faults;
+      }
+    }
     return run_set().run(specs);
   }
 

@@ -15,8 +15,7 @@ int main(int argc, char** argv) {
   banner("Figure 1 — EC2-AutoScaling response-time fluctuation",
          "Paper: spikes to ~2000+ ms while VMs ramp 3 -> ~8 over 720 s.");
 
-  ScalingRunOptions options;
-  options.duration = env.duration;
+  const ScalingRunOptions options = env.scaling_options();
   const ScalingRunResult result =
       run_scaling(env.params, TraceKind::kLargeVariations,
                   FrameworkKind::kEc2AutoScaling, options);

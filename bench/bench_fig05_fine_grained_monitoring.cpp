@@ -16,8 +16,7 @@ int main(int argc, char** argv) {
          "Paper: concurrency/TP/RT all fluctuate hard once the second Tomcat "
          "doubles the concurrent requests into MySQL.");
 
-  ScalingRunOptions options;
-  options.duration = env.duration;
+  const ScalingRunOptions options = env.scaling_options();
   const ScalingRunResult result =
       run_scaling(env.params, TraceKind::kLargeVariations,
                   FrameworkKind::kEc2AutoScaling, options);

@@ -20,12 +20,14 @@ LoadBalancer::LoadBalancer(std::string name, LbPolicy policy)
     : name_(std::move(name)), policy_(policy) {}
 
 void LoadBalancer::add_backend(Server* server) {
+  ever_had_backend_ = true;
   if (std::find(backends_.begin(), backends_.end(), server) !=
       backends_.end()) {
     return;
   }
   backends_.push_back(server);
   outstanding_.try_emplace(server, 0);
+  flush_surge_queue();
 }
 
 void LoadBalancer::remove_backend(Server* server) {
@@ -41,9 +43,6 @@ std::size_t LoadBalancer::outstanding(const Server* server) const {
 }
 
 Server* LoadBalancer::choose_backend() {
-  if (backends_.empty()) {
-    throw std::runtime_error("LoadBalancer '" + name_ + "': no backends");
-  }
   switch (policy_) {
     case LbPolicy::kRoundRobin: {
       rr_index_ = (rr_index_ + 1) % backends_.size();
@@ -67,6 +66,15 @@ Server* LoadBalancer::choose_backend() {
 }
 
 void LoadBalancer::dispatch(const RequestContext& ctx, Completion done) {
+  if (backends_.empty()) {
+    if (!ever_had_backend_) {
+      throw std::runtime_error("LoadBalancer '" + name_ + "': no backends");
+    }
+    // Every backend is down (tier-wide crash). Park the request; it resumes
+    // FIFO when a backend re-registers.
+    waiting_.push_back(Parked{ctx, std::move(done)});
+    return;
+  }
   Server* target = choose_backend();
   ++outstanding_[target];
   ++dispatched_;
@@ -75,6 +83,17 @@ void LoadBalancer::dispatch(const RequestContext& ctx, Completion done) {
     if (it != outstanding_.end() && it->second > 0) --it->second;
     done();
   });
+}
+
+void LoadBalancer::flush_surge_queue() {
+  if (flushing_) return;  // dispatch completions may re-enter add_backend
+  flushing_ = true;
+  while (!waiting_.empty() && !backends_.empty()) {
+    Parked parked = std::move(waiting_.front());
+    waiting_.pop_front();
+    dispatch(parked.ctx, std::move(parked.done));
+  }
+  flushing_ = false;
 }
 
 }  // namespace conscale

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <string>
 #include <unordered_map>
@@ -30,7 +31,10 @@ class LoadBalancer {
   void remove_backend(Server* server);
 
   /// Dispatches to a backend per policy. Throws std::runtime_error if no
-  /// backend is registered (the cluster layer guarantees at least one).
+  /// backend was *ever* registered (a mis-wired topology). If backends were
+  /// registered but all are currently gone (every VM of the tier crashed),
+  /// the request parks in a surge queue — HAProxy's maxconn backlog — and is
+  /// dispatched FIFO as soon as a backend comes back.
   void dispatch(const RequestContext& ctx, Completion done);
 
   void set_policy(LbPolicy policy) { policy_ = policy; }
@@ -38,17 +42,28 @@ class LoadBalancer {
   std::size_t backend_count() const { return backends_.size(); }
   std::size_t outstanding(const Server* server) const;
   std::uint64_t total_dispatched() const { return dispatched_; }
+  /// Requests parked because every backend is down.
+  std::size_t surge_queued() const { return waiting_.size(); }
   const std::vector<Server*>& backends() const { return backends_; }
 
  private:
+  struct Parked {
+    RequestContext ctx;
+    Completion done;
+  };
+
   Server* choose_backend();
+  void flush_surge_queue();
 
   std::string name_;
   LbPolicy policy_;
   std::vector<Server*> backends_;
   std::unordered_map<const Server*, std::size_t> outstanding_;
+  std::deque<Parked> waiting_;
   std::size_t rr_index_ = 0;
   std::uint64_t dispatched_ = 0;
+  bool ever_had_backend_ = false;
+  bool flushing_ = false;
 };
 
 }  // namespace conscale

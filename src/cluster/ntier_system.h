@@ -45,8 +45,14 @@ class NTierSystem {
   const TierGroup& tier(std::size_t index) const { return *tiers_[index]; }
   /// Finds a tier by name; throws std::out_of_range if absent.
   TierGroup& tier_by_name(const std::string& name);
+  /// Resolves a tier name to its index; returns tier_count() if absent
+  /// (fault plans use this for validation without exceptions).
+  std::size_t tier_index_by_name(const std::string& name) const;
 
   std::size_t total_billed_vms() const;
+  /// Fault-injection totals across all tiers (zero in fault-free runs).
+  std::uint64_t total_crashes() const;
+  std::uint64_t total_aborted_requests() const;
 
   /// Multiple subscribers are supported (metrics, scaling policies, ...).
   void add_vm_ready_callback(VmReadyCallback callback);

@@ -20,6 +20,8 @@ std::unique_ptr<Vm> TierGroup::make_vm(SimDuration prep_delay) {
   params.downstream_pool_size = downstream_pool_size_;
   // Distinct demand-sampling streams per VM, still fully deterministic.
   params.seed = config_.server_template.seed + next_vm_number_ * 7919;
+  // A VM born inside a tier-wide interference window shares the slow host.
+  params.speed = config_.server_template.speed * cpu_speed_factor_;
   ++next_vm_number_;
 
   auto vm = std::make_unique<Vm>(
@@ -47,9 +49,55 @@ bool TierGroup::scale_out() {
   if (billed_vms() >= config_.max_vms) return false;
   CS_RUN_LOG_INFO(*ctx_) << config_.name << ": scale-out started at t="
                          << sim_.now();
-  vms_.push_back(make_vm(config_.vm_prep_delay));
+  vms_.push_back(make_vm(config_.vm_prep_delay * prep_delay_factor_));
   meters_.push_back(std::make_unique<CpuMeter>());
   return true;
+}
+
+bool TierGroup::inject_vm_crash(std::size_t ordinal,
+                                SimDuration restart_delay) {
+  std::size_t seen = 0;
+  for (const auto& vm : vms_) {
+    if (vm->state() != VmState::kRunning) continue;
+    if (seen++ != ordinal) continue;
+    // Deregister before failing so the LB never dispatches to a dead server
+    // while the abort completions run.
+    lb_.remove_backend(&vm->server());
+    vm->fail(restart_delay, config_.vm_prep_delay * prep_delay_factor_);
+    return true;
+  }
+  return false;
+}
+
+void TierGroup::set_prep_delay_factor(double factor) {
+  prep_delay_factor_ = factor > 0.0 ? factor : 1.0;
+  CS_RUN_LOG_INFO(*ctx_) << config_.name << ": boot delay factor set to "
+                         << prep_delay_factor_ << " at t=" << sim_.now();
+}
+
+std::vector<Server*> TierGroup::set_vm_cpu_speed_factor(std::size_t ordinal,
+                                                        double factor) {
+  const double speed = config_.server_template.speed * factor;
+  std::vector<Server*> touched;
+  if (ordinal == kAllVms) {
+    // Remember the factor so VMs created inside the window inherit it.
+    cpu_speed_factor_ = factor;
+    for (const auto& vm : vms_) {
+      if (!vm->billed()) continue;
+      vm->server().set_cpu_speed(speed);
+      touched.push_back(&vm->server());
+    }
+    return touched;
+  }
+  std::size_t seen = 0;
+  for (const auto& vm : vms_) {
+    if (!vm->billed()) continue;
+    if (seen++ != ordinal) continue;
+    vm->server().set_cpu_speed(speed);
+    touched.push_back(&vm->server());
+    break;
+  }
+  return touched;
 }
 
 bool TierGroup::scale_in() {
@@ -104,6 +152,26 @@ std::size_t TierGroup::provisioning_vms() const {
   for (const auto& vm : vms_) {
     if (vm->state() == VmState::kProvisioning) ++count;
   }
+  return count;
+}
+
+std::size_t TierGroup::failed_vms() const {
+  std::size_t count = 0;
+  for (const auto& vm : vms_) {
+    if (vm->state() == VmState::kFailed) ++count;
+  }
+  return count;
+}
+
+std::uint64_t TierGroup::total_crashes() const {
+  std::uint64_t count = 0;
+  for (const auto& vm : vms_) count += vm->crash_count();
+  return count;
+}
+
+std::uint64_t TierGroup::total_aborted_requests() const {
+  std::uint64_t count = 0;
+  for (const auto& vm : vms_) count += vm->server().aborted_requests();
   return count;
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -50,6 +51,31 @@ class TierGroup {
   /// Drains the most recently added running VM. Returns false at min size.
   bool scale_in();
 
+  // ---- Fault injection (src/faults) -------------------------------------
+
+  /// Crashes the `ordinal`-th *running* VM (0 = oldest running, in creation
+  /// order). The VM is deregistered from the LB first, then its server
+  /// errors every in-flight request. `restart_delay` >= 0 schedules a
+  /// restart after that many seconds (provisioning then takes the tier's
+  /// current effective prep delay, i.e. vm_prep_delay * prep delay factor);
+  /// negative = permanent. Returns false when no such running VM exists.
+  bool inject_vm_crash(std::size_t ordinal, SimDuration restart_delay);
+
+  /// Boot-latency jitter (degraded cloud provisioning API): multiplies the
+  /// preparation delay of every *future* scale-out and crash-restart
+  /// (the factor in effect when the operation starts applies). 1.0 = nominal.
+  void set_prep_delay_factor(double factor);
+  double prep_delay_factor() const { return prep_delay_factor_; }
+
+  /// CPU interference (noisy neighbor): sets the per-core speed of the
+  /// `ordinal`-th currently-billed VM to template speed x `factor`, or of
+  /// every billed VM when `ordinal` is kAllVms (in which case VMs created
+  /// while the window is open inherit the factor too). Returns the servers
+  /// touched, so the injector can close the window on exactly those VMs.
+  static constexpr std::size_t kAllVms = static_cast<std::size_t>(-1);
+  std::vector<Server*> set_vm_cpu_speed_factor(std::size_t ordinal,
+                                               double factor);
+
   /// Vertical scaling (§III-C.1): sets the core count of every running VM
   /// in the tier (and of future VMs). Takes effect immediately — hypervisors
   /// hot-plug vCPUs. Returns false if `cores` < 1.
@@ -59,6 +85,11 @@ class TierGroup {
   std::size_t billed_vms() const;    ///< provisioning + running + draining
   std::size_t running_vms() const;
   std::size_t provisioning_vms() const;
+  std::size_t failed_vms() const;
+  /// Total crashes injected into this tier over the run.
+  std::uint64_t total_crashes() const;
+  /// Total requests errored by crashes across all of this tier's servers.
+  std::uint64_t total_aborted_requests() const;
   const TierConfig& config() const { return config_; }
   const std::string& name() const { return config_.name; }
   LoadBalancer& lb() { return lb_; }
@@ -95,6 +126,8 @@ class TierGroup {
   std::vector<std::unique_ptr<Vm>> vms_;
   std::vector<std::unique_ptr<CpuMeter>> meters_;
   std::size_t next_vm_number_ = 1;
+  double prep_delay_factor_ = 1.0;
+  double cpu_speed_factor_ = 1.0;  ///< applied to newly created VMs too
   std::size_t thread_pool_size_;
   std::size_t downstream_pool_size_;
   VmReadyCallback on_vm_ready_;

@@ -1,5 +1,7 @@
 #include "cluster/vm.h"
 
+#include <stdexcept>
+
 namespace conscale {
 
 std::string to_string(VmState state) {
@@ -12,6 +14,8 @@ std::string to_string(VmState state) {
       return "draining";
     case VmState::kStopped:
       return "stopped";
+    case VmState::kFailed:
+      return "failed";
   }
   return "?";
 }
@@ -35,22 +39,59 @@ double CpuMeter::sample(SimTime now, double busy_core_seconds, int cores) {
 Vm::Vm(Simulation& sim, Server::Params server_params, SimDuration prep_delay,
        ReadyCallback on_ready, const RunContext* context)
     : sim_(sim), ctx_(context ? context : &RunContext::global()),
-      server_(sim, std::move(server_params)) {
-  sim_.schedule_after(prep_delay,
-                      [this, on_ready = std::move(on_ready)]() mutable {
-                        if (state_ != VmState::kProvisioning) return;
-                        state_ = VmState::kRunning;
-                        CS_RUN_LOG_DEBUG(*ctx_)
-                            << "VM " << name() << " ready at t=" << sim_.now();
-                        if (on_ready) on_ready(*this);
-                      });
+      server_(sim, std::move(server_params)), on_ready_(std::move(on_ready)) {
+  begin_provisioning(prep_delay);
+}
+
+void Vm::begin_provisioning(SimDuration prep_delay) {
+  state_ = VmState::kProvisioning;
+  boot_event_ = sim_.schedule_after(prep_delay, [this] {
+    if (state_ != VmState::kProvisioning) return;
+    state_ = VmState::kRunning;
+    CS_RUN_LOG_DEBUG(*ctx_) << "VM " << name() << " ready at t=" << sim_.now();
+    if (on_ready_) on_ready_(*this);
+  });
 }
 
 void Vm::drain(StoppedCallback on_stopped) {
-  if (state_ == VmState::kStopped || state_ == VmState::kDraining) return;
+  if (state_ == VmState::kDraining) return;
+  if (state_ != VmState::kRunning) {
+    throw std::logic_error("Vm '" + name() + "': illegal transition " +
+                           to_string(state_) + " -> draining");
+  }
   state_ = VmState::kDraining;
   on_stopped_ = std::move(on_stopped);
   check_drained();
+}
+
+std::size_t Vm::fail(SimDuration restart_delay,
+                     SimDuration restart_prep_delay) {
+  if (state_ == VmState::kStopped || state_ == VmState::kFailed) {
+    throw std::logic_error("Vm '" + name() + "': illegal transition " +
+                           to_string(state_) + " -> failed");
+  }
+  boot_event_.cancel();
+  drain_poll_.cancel();
+  on_stopped_ = nullptr;  // a crashed VM never reports a clean drain
+  state_ = VmState::kFailed;
+  ++crash_count_;
+  const std::size_t aborted = server_.fail();
+  CS_RUN_LOG_INFO(*ctx_) << "VM " << name() << " FAILED at t=" << sim_.now()
+                         << " (aborted " << aborted << " in-flight requests"
+                         << (restart_delay >= 0.0
+                                 ? ", restart in " +
+                                       std::to_string(restart_delay) + "s)"
+                                 : ", permanent)");
+  if (restart_delay >= 0.0) {
+    restart_event_ =
+        sim_.schedule_after(restart_delay, [this, restart_prep_delay] {
+          if (state_ != VmState::kFailed) return;
+          CS_RUN_LOG_INFO(*ctx_)
+              << "VM " << name() << " restarting at t=" << sim_.now();
+          begin_provisioning(restart_prep_delay);
+        });
+  }
+  return aborted;
 }
 
 void Vm::check_drained() {

@@ -105,6 +105,27 @@ bool Config::get_bool(const std::string& key, bool fallback) const {
                            it->second);
 }
 
+void Config::require_known_keys(
+    const std::vector<std::string>& known_keys) const {
+  std::string unknown;
+  for (const auto& [key, value] : values_) {  // std::map: sorted iteration
+    if (std::find(known_keys.begin(), known_keys.end(), key) !=
+        known_keys.end()) {
+      continue;
+    }
+    if (!unknown.empty()) unknown += ", ";
+    unknown += key;
+  }
+  if (unknown.empty()) return;
+  std::string known;
+  for (const auto& key : known_keys) {
+    if (!known.empty()) known += ", ";
+    known += key;
+  }
+  throw std::runtime_error("Config: unknown key(s): " + unknown +
+                           " (known keys: " + known + ")");
+}
+
 void Config::merge(const Config& other) {
   for (const auto& [k, v] : other.values_) values_[k] = v;
   positional_.insert(positional_.end(), other.positional_.begin(),

@@ -37,6 +37,11 @@ class Config {
   /// Merge: entries in `other` override entries here.
   void merge(const Config& other);
 
+  /// Validation: throws std::runtime_error naming every key not in
+  /// `known_keys` (sorted, so the message is deterministic). A mistyped
+  /// `durration=60` must abort the bench, not silently run the default.
+  void require_known_keys(const std::vector<std::string>& known_keys) const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;

@@ -40,6 +40,14 @@ void DecisionController::tick(SimTime now) {
   for (std::size_t i = 0; i < system_.tier_count(); ++i) {
     TierGroup& tier = system_.tier(i);
     const TierSample sample = warehouse_.latest_tier(tier.name());
+    if (config_.metric_staleness_limit > 0.0 &&
+        now - sample.t > config_.metric_staleness_limit) {
+      // Monitoring dropout: the newest sample is too old to act on. Holding
+      // is safer than replaying it — a frozen utilization reading would
+      // otherwise keep triggering the same decision every tick.
+      ++stale_skips_;
+      continue;
+    }
     const bool blocked = tier.provisioning_vms() > 0;
     const ScalingDirection direction =
         rules_[i].evaluate(now, sample.avg_cpu_utilization, blocked);

@@ -25,6 +25,11 @@ struct ControllerConfig {
   /// drifting environment is caught even without hardware scaling events.
   /// 0 disables (the paper's base behaviour: adapt at scaling time only).
   SimDuration periodic_adapt = 0.0;
+  /// Monitoring-dropout guard: when > 0, a tier whose newest warehouse
+  /// sample is older than this many seconds is held — no scaling decision is
+  /// taken on blank or stale data (the last sample would otherwise be
+  /// replayed every tick). 0 disables the guard (fault-free default).
+  SimDuration metric_staleness_limit = 0.0;
 };
 
 class DecisionController {
@@ -37,6 +42,8 @@ class DecisionController {
   std::uint64_t scale_out_count() const { return scale_outs_; }
   std::uint64_t scale_in_count() const { return scale_ins_; }
   std::uint64_t adapt_count() const { return adapts_; }
+  /// Tier-ticks skipped because metrics were stale (dropout guard).
+  std::uint64_t stale_skip_count() const { return stale_skips_; }
 
  private:
   void tick(SimTime now);
@@ -54,6 +61,7 @@ class DecisionController {
   std::uint64_t scale_outs_ = 0;
   std::uint64_t scale_ins_ = 0;
   std::uint64_t adapts_ = 0;
+  std::uint64_t stale_skips_ = 0;
 };
 
 }  // namespace conscale

@@ -29,11 +29,29 @@ void ConcurrencyEstimatorService::refresh(SimTime now) {
   for (std::size_t i = 0; i < system_.tier_count(); ++i) {
     TierGroup& tier = system_.tier(i);
     ScatterSet scatter;
+    SimTime newest = 0.0;
+    bool any_samples = false;
     for (Vm* vm : tier.all_vms()) {
       // Draining/stopped servers contributed valid samples while running;
       // the warehouse window naturally ages them out.
-      scatter.add_all(
-          warehouse_.server_window(vm->name(), params_.window, now));
+      const auto samples =
+          warehouse_.server_window(vm->name(), params_.window, now);
+      if (!samples.empty()) {
+        any_samples = true;
+        if (samples.back().t_end > newest) newest = samples.back().t_end;
+      }
+      scatter.add_all(samples);
+    }
+    // The staleness guard only applies to tiers that have data in the
+    // window: a tier with none (not yet monitored, or blacked out longer
+    // than the whole window) has nothing to hold — estimate() bails anyway.
+    if (any_samples && params_.max_staleness > 0.0 &&
+        now - newest > params_.max_staleness) {
+      // Monitoring dropout: the window's newest sample predates the gap.
+      // Re-estimating from the shrinking remainder would bias the curve, so
+      // the cached range stays authoritative until samples flow again.
+      ++stale_skips_;
+      continue;
     }
     auto range = estimator_.estimate(scatter);
     if (!range) continue;

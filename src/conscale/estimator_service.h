@@ -32,6 +32,13 @@ struct EstimatorServiceParams {
   /// the cached one so a single noisy window cannot yank the allocation.
   /// 1.0 = no smoothing (use the raw estimate).
   double smoothing = 0.5;
+  /// Monitoring-dropout guard: when > 0, a tier whose newest fine-grained
+  /// sample is older than this many seconds does not re-estimate — the
+  /// cached range (learned from complete data) stays authoritative instead
+  /// of being diluted by a half-empty window. 0 disables (fault-free
+  /// default). Dropouts shorter than `window` still estimate as long as the
+  /// newest surviving sample passes this bound.
+  SimDuration max_staleness = 0.0;
 };
 
 class ConcurrencyEstimatorService {
@@ -57,6 +64,9 @@ class ConcurrencyEstimatorService {
   };
   const std::vector<HistoryEntry>& history() const { return history_; }
 
+  /// Tier-refreshes skipped because the window was stale (dropout guard).
+  std::uint64_t stale_skip_count() const { return stale_skips_; }
+
   const EstimatorServiceParams& params() const { return params_; }
 
  private:
@@ -70,6 +80,7 @@ class ConcurrencyEstimatorService {
   SctEstimator estimator_;
   std::map<std::string, RationalRange> cache_;
   std::vector<HistoryEntry> history_;
+  std::uint64_t stale_skips_ = 0;
   std::unique_ptr<PeriodicTask> refresh_task_;
 };
 

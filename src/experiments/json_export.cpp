@@ -78,6 +78,33 @@ void export_run_json(std::ostream& out, const ScalingRunResult& result) {
   }
   json.end_array();
 
+  // Fault section only when the run actually injected something, so the
+  // JSON of every pre-existing (fault-free) bench stays byte-identical.
+  if (!result.fault_plan_text.empty()) {
+    json.key("faults").begin_object();
+    json.key("plan").value(result.fault_plan_text);
+    json.key("crashes_injected").value(result.fault_stats.crashes_injected);
+    json.key("crashes_missed").value(result.fault_stats.crashes_missed);
+    json.key("interference_windows")
+        .value(result.fault_stats.interference_windows);
+    json.key("boot_jitter_windows")
+        .value(result.fault_stats.boot_jitter_windows);
+    json.key("dropout_windows").value(result.fault_stats.dropout_windows);
+    json.key("requests_aborted").value(result.requests_aborted);
+    json.key("dropped_samples").value(result.dropped_samples);
+    json.key("windows").begin_array();
+    for (const auto& w : result.fault_windows) {
+      json.begin_object();
+      json.key("kind").value(to_string(w.kind));
+      json.key("start").value(w.start);
+      json.key("end").value(w.end);
+      json.key("tier").value(w.tier);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+
   json.end_object();
 }
 

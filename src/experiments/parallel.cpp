@@ -182,6 +182,33 @@ bool results_equivalent(const ScalingRunResult& a, const ScalingRunResult& b,
     return fail(diff, "requests_issued");
   if (a.requests_completed != b.requests_completed)
     return fail(diff, "requests_completed");
+
+  // Fault-injection outcome must replay exactly too (all fields zero/empty
+  // for fault-free runs, so this is free there).
+  if (a.fault_plan_text != b.fault_plan_text)
+    return fail(diff, "fault_plan_text");
+  if (a.requests_aborted != b.requests_aborted)
+    return fail(diff, "requests_aborted");
+  if (a.dropped_samples != b.dropped_samples)
+    return fail(diff, "dropped_samples");
+  if (a.fault_stats.crashes_injected != b.fault_stats.crashes_injected ||
+      a.fault_stats.crashes_missed != b.fault_stats.crashes_missed ||
+      a.fault_stats.interference_windows !=
+          b.fault_stats.interference_windows ||
+      a.fault_stats.boot_jitter_windows != b.fault_stats.boot_jitter_windows ||
+      a.fault_stats.dropout_windows != b.fault_stats.dropout_windows) {
+    return fail(diff, "fault_stats");
+  }
+  if (a.fault_windows.size() != b.fault_windows.size())
+    return fail(diff, "fault_windows length");
+  for (std::size_t i = 0; i < a.fault_windows.size(); ++i) {
+    const FaultWindow& x = a.fault_windows[i];
+    const FaultWindow& y = b.fault_windows[i];
+    if (x.kind != y.kind || x.start != y.start || x.end != y.end ||
+        x.tier != y.tier) {
+      return fail(diff, at("fault_windows", i, "fields"));
+    }
+  }
   return true;
 }
 

@@ -206,4 +206,18 @@ void dump_scatter_csv(const std::string& path, const ScatterRunResult& result) {
   }
 }
 
+void dump_fault_windows_csv(const std::string& path,
+                            const ScalingRunResult& result) {
+  CsvWriter csv(path);
+  csv.header({"kind", "start", "end", "tier"});
+  char buffer[64];
+  for (const auto& w : result.fault_windows) {
+    std::snprintf(buffer, sizeof(buffer), "%.6g", w.start);
+    std::string start = buffer;
+    std::snprintf(buffer, sizeof(buffer), "%.6g", w.end);
+    std::string end = buffer;
+    csv.raw_row({to_string(w.kind), start, end, w.tier});
+  }
+}
+
 }  // namespace conscale

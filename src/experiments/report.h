@@ -45,5 +45,10 @@ void print_events(std::ostream& out, const std::vector<ScalingEvent>& events);
 /// CSV dumps (written under `dir`, file name derived from `stem`).
 void dump_system_csv(const std::string& path, const ScalingRunResult& result);
 void dump_scatter_csv(const std::string& path, const ScatterRunResult& result);
+/// One row per realized fault window (kind, start, end, tier) — the shading
+/// layer under resilience timelines. Writes a header-only file when the run
+/// had no faults.
+void dump_fault_windows_csv(const std::string& path,
+                            const ScalingRunResult& result);
 
 }  // namespace conscale

@@ -89,6 +89,16 @@ ScalingRunResult run_scaling(const ScenarioParams& params,
     clients->set_completion_hook(completion_hook);
   }
 
+  // Fault injection is opt-in per run: with an empty plan no injector is
+  // even constructed, so fault-free runs execute the exact event sequence
+  // they did before the subsystem existed.
+  std::unique_ptr<FaultInjector> injector;
+  if (!options.faults.empty()) {
+    injector = std::make_unique<FaultInjector>(sim, system, warehouse.get(),
+                                               options.faults, ctx);
+    injector->arm();
+  }
+
   sim.run_until(options.duration);
 
   ScalingRunResult result;
@@ -115,6 +125,13 @@ ScalingRunResult run_scaling(const ScenarioParams& params,
       clients ? clients->requests_issued() : sessions->requests_issued();
   result.requests_completed = clients ? clients->requests_completed()
                                       : sessions->requests_completed();
+  if (injector) {
+    result.fault_stats = injector->stats();
+    result.fault_windows = injector->windows();
+    result.fault_plan_text = injector->plan().to_text();
+    result.requests_aborted = system.total_aborted_requests();
+    result.dropped_samples = warehouse->dropped_samples();
+  }
   result.warehouse = std::move(warehouse);
   return result;
 }

@@ -20,6 +20,7 @@
 #include "common/run_context.h"
 #include "conscale/framework.h"
 #include "experiments/scenario.h"
+#include "faults/injector.h"
 #include "metrics/monitor.h"
 #include "sct/estimator.h"
 #include "workload/trace.h"
@@ -43,6 +44,10 @@ struct ScalingRunOptions {
   /// the short-range correlation of real navigation; the population still
   /// tracks the trace.
   bool session_workload = false;
+  /// Deterministic fault schedule replayed against the run (src/faults).
+  /// Empty (the default) injects nothing and leaves the run byte-identical
+  /// to one executed without the fault subsystem.
+  FaultPlan faults;
   /// Per-run execution context (log label/level/sink). Default-constructed
   /// it behaves exactly like the process-wide Logger; the parallel runner
   /// sets a label per run so concurrent log lines stay attributable. The
@@ -70,6 +75,16 @@ struct ScalingRunResult {
   double sla_500ms = 0.0;
   std::uint64_t requests_issued = 0;
   std::uint64_t requests_completed = 0;
+  // ---- Fault-injection outcome (all zero / empty in fault-free runs) ----
+  FaultInjectorStats fault_stats;
+  std::vector<FaultWindow> fault_windows;
+  /// Canonical text of the injected plan ("" when none) — a result names
+  /// the perturbations that produced it.
+  std::string fault_plan_text;
+  /// Requests errored by VM crashes, summed over every server.
+  std::uint64_t requests_aborted = 0;
+  /// Samples discarded by monitoring dropouts.
+  std::uint64_t dropped_samples = 0;
   /// The full warehouse, for figure-specific drill-downs (per-server 50 ms
   /// series, e.g. Fig 5's MySQL monitoring).
   std::shared_ptr<MetricsWarehouse> warehouse;

@@ -12,6 +12,7 @@ IntervalAggregator::IntervalAggregator(Simulation& sim, Server& server,
   Server::Hooks hooks;
   hooks.on_admitted = [this](SimTime now) { on_admitted(now); };
   hooks.on_departed = [this](SimTime now, double rt) { on_departed(now, rt); };
+  hooks.on_aborted = [this](SimTime now) { on_aborted(now); };
   server.add_hooks(std::move(hooks));
 }
 
@@ -43,6 +44,13 @@ void IntervalAggregator::on_departed(SimTime now, double rt) {
   if (current_ > 0) --current_;
   ++completions_;
   rt_sum_ += rt;
+}
+
+void IntervalAggregator::on_aborted(SimTime now) {
+  // A crash-errored request leaves the concurrency integral but is not a
+  // completion — throughput and mean RT must not credit it.
+  advance_integral(now);
+  if (current_ > 0) --current_;
 }
 
 void IntervalAggregator::emit(SimTime now) {

@@ -40,6 +40,7 @@ class IntervalAggregator {
  private:
   void on_admitted(SimTime now);
   void on_departed(SimTime now, double rt);
+  void on_aborted(SimTime now);
   void advance_integral(SimTime now);
   void emit(SimTime now);
 

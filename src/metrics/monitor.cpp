@@ -17,6 +17,7 @@ MonitoringAgent::MonitoringAgent(Simulation& sim, NTierSystem& system,
 }
 
 void MonitoringAgent::attach(Vm& vm) {
+  if (!attached_.insert(vm.name()).second) return;  // restarted VM
   auto aggregator = std::make_unique<IntervalAggregator>(
       sim_, vm.server(), params_.fine_period);
   const std::string name = vm.name();

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <memory>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "cluster/ntier_system.h"
@@ -48,6 +50,9 @@ class MonitoringAgent {
   MetricsWarehouse& warehouse_;
   Params params_;
   std::vector<std::unique_ptr<IntervalAggregator>> aggregators_;
+  /// Servers already wired. A restarted VM fires vm-ready again with the
+  /// same server; attaching twice would double-count its samples.
+  std::set<std::string> attached_;
   std::unique_ptr<PeriodicTask> coarse_task_;
 
   // Per-second client completion accumulation.

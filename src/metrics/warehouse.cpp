@@ -11,15 +11,27 @@ const std::vector<TierSample> kEmptyTierSeries;
 
 void MetricsWarehouse::record_server(const std::string& server,
                                      const IntervalSample& sample) {
+  if (!ingestion_enabled_) {
+    ++dropped_samples_;
+    return;
+  }
   servers_[server].push_back(sample);
 }
 
 void MetricsWarehouse::record_tier(const std::string& tier,
                                    const TierSample& sample) {
+  if (!ingestion_enabled_) {
+    ++dropped_samples_;
+    return;
+  }
   tiers_[tier].push_back(sample);
 }
 
 void MetricsWarehouse::record_system(const SystemSample& sample) {
+  if (!ingestion_enabled_) {
+    ++dropped_samples_;
+    return;
+  }
   system_.push_back(sample);
 }
 

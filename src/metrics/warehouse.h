@@ -41,6 +41,14 @@ class MetricsWarehouse {
   void record_tier(const std::string& tier, const TierSample& sample);
   void record_system(const SystemSample& sample);
 
+  /// Monitoring dropout (fault injection): while disabled, every record_*
+  /// call is counted and discarded — consumers see a widening gap between
+  /// `now` and the newest stored sample, exactly like a crashed TSDB
+  /// ingestion path. Queries still serve the pre-dropout series.
+  void set_ingestion_enabled(bool enabled) { ingestion_enabled_ = enabled; }
+  bool ingestion_enabled() const { return ingestion_enabled_; }
+  std::uint64_t dropped_samples() const { return dropped_samples_; }
+
   // ---- full-series access (figure rendering) ----
   const std::vector<IntervalSample>& server_series(
       const std::string& server) const;
@@ -62,6 +70,8 @@ class MetricsWarehouse {
   std::map<std::string, std::vector<IntervalSample>> servers_;
   std::map<std::string, std::vector<TierSample>> tiers_;
   std::vector<SystemSample> system_;
+  bool ingestion_enabled_ = true;
+  std::uint64_t dropped_samples_ = 0;
 };
 
 }  // namespace conscale

@@ -45,6 +45,12 @@ void FcfsResource::try_dispatch() {
   }
 }
 
+std::size_t FcfsResource::clear_queue() {
+  const std::size_t dropped = queue_.size();
+  queue_.clear();
+  return dropped;
+}
+
 void FcfsResource::set_speed(double speed) {
   assert(speed > 0.0);
   // Jobs already in service keep their original service time; new dispatches

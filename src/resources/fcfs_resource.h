@@ -28,6 +28,12 @@ class FcfsResource {
   void set_speed(double speed);
   void set_channels(int channels);
 
+  /// Drops every *queued* job (no callbacks fire). Jobs already in service
+  /// run to completion — a real disk controller finishes the transfer it
+  /// started — so channel accounting needs no special casing. Returns the
+  /// number of jobs dropped.
+  std::size_t clear_queue();
+
   int channels() const { return channels_; }
   double speed() const { return speed_; }
   std::size_t busy_channels() const { return busy_; }

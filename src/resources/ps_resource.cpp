@@ -109,6 +109,14 @@ bool ProcessorSharingResource::abort(JobId id) {
   return true;
 }
 
+std::size_t ProcessorSharingResource::abort_all() {
+  advance_to_now();
+  const std::size_t killed = jobs_.size();
+  jobs_.clear();
+  reschedule_completion();
+  return killed;
+}
+
 void ProcessorSharingResource::set_cores(int cores) {
   assert(cores >= 1);
   advance_to_now();

@@ -46,6 +46,11 @@ class ProcessorSharingResource {
   /// false if the job already completed.
   bool abort(JobId id);
 
+  /// Aborts every active job (no callbacks fire) — a VM crash wipes the
+  /// CPU's run queue. Busy time is integrated up to now first, so the
+  /// utilization signal stays consistent. Returns the number of jobs killed.
+  std::size_t abort_all();
+
   /// Runtime reconfiguration — vertical scaling (§III-C.1). Takes effect
   /// immediately; in-flight jobs keep their remaining work.
   void set_cores(int cores);

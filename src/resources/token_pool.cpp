@@ -39,6 +39,11 @@ void TokenPool::release() {
   grant_waiters();
 }
 
+void TokenPool::reset() {
+  queue_.clear();
+  in_use_ = 0;
+}
+
 void TokenPool::resize(std::size_t capacity) {
   capacity_ = capacity;
   grant_waiters();

@@ -38,6 +38,12 @@ class TokenPool {
   /// shrinking lets in-use tokens drain naturally.
   void resize(std::size_t capacity);
 
+  /// Crash semantics: every holder is gone and every waiter is dropped
+  /// (no callbacks fire). Capacity is kept — the pool is empty and free, as
+  /// after a process restart. Callers must not release() tokens that were
+  /// held across a reset.
+  void reset();
+
   const std::string& name() const { return name_; }
   std::size_t capacity() const { return capacity_; }
   std::size_t in_use() const { return in_use_; }

@@ -13,6 +13,9 @@ struct Server::Visit {
   SimTime arrival = 0.0;
   const PhaseDemand* demand = nullptr;
   int calls_remaining = 0;
+  bool admitted = false;   ///< holds (or held) a worker thread
+  bool aborted = false;    ///< errored by fail(); every continuation no-ops
+  bool completed = false;  ///< finish() ran; guards double accounting
 };
 
 Server::Server(Simulation& sim, Params params)
@@ -61,10 +64,24 @@ void Server::handle(const RequestContext& ctx, Completion done) {
   }
   visit->demand = &ctx.request_class->tiers[tier];
   ++in_flight_;
+  register_visit(visit);
   threads_.acquire([this, visit] { start_processing(visit); });
 }
 
+void Server::register_visit(const std::shared_ptr<Visit>& visit) {
+  // Amortized compaction keeps the registry proportional to the true
+  // in-flight count instead of growing with the request total.
+  if (live_visits_.size() >= 64 &&
+      live_visits_.size() > 2 * in_flight_) {
+    std::erase_if(live_visits_,
+                  [](const std::weak_ptr<Visit>& w) { return w.expired(); });
+  }
+  live_visits_.push_back(visit);
+}
+
 void Server::start_processing(const std::shared_ptr<Visit>& visit) {
+  if (visit->aborted) return;
+  visit->admitted = true;
   for (auto& h : hooks_) {
     if (h.on_admitted) h.on_admitted(sim_.now());
   }
@@ -78,6 +95,7 @@ void Server::start_processing(const std::shared_ptr<Visit>& visit) {
     run_downstream_calls(visit);
   };
   auto after_disk = [this, visit, after_delay]() mutable {
+    if (visit->aborted) return;
     const double cv2 = visit->ctx.request_class->demand_cv;
     const double delay =
         visit->demand->pure_delay <= 0.0
@@ -90,6 +108,7 @@ void Server::start_processing(const std::shared_ptr<Visit>& visit) {
     }
   };
   auto after_cpu = [this, visit, after_disk]() mutable {
+    if (visit->aborted) return;
     const double cv2 = visit->ctx.request_class->demand_cv;
     const double disk_demand =
         visit->demand->disk <= 0.0
@@ -109,6 +128,7 @@ void Server::start_processing(const std::shared_ptr<Visit>& visit) {
 }
 
 void Server::run_downstream_calls(const std::shared_ptr<Visit>& visit) {
+  if (visit->aborted) return;
   if (visit->calls_remaining <= 0 || !downstream_) {
     // Final CPU burst, then depart.
     const double cv = visit->ctx.request_class->demand_cv;
@@ -126,8 +146,11 @@ void Server::run_downstream_calls(const std::shared_ptr<Visit>& visit) {
   --visit->calls_remaining;
   if (downstream_pool_) {
     downstream_pool_->acquire([this, visit] {
+      if (visit->aborted) return;  // crashed while waiting for a connection
       downstream_(visit->ctx, [this, visit] {
-        downstream_pool_->release();
+        // If this server crashed while the sub-request was downstream, the
+        // pool has been reset — the token this visit held no longer exists.
+        if (!visit->aborted) downstream_pool_->release();
         run_downstream_calls(visit);
       });
     });
@@ -136,7 +159,46 @@ void Server::run_downstream_calls(const std::shared_ptr<Visit>& visit) {
   }
 }
 
+std::size_t Server::fail() {
+  // Phase 1: mark every live visit dead and retire admitted ones from the
+  // concurrency integrators. Marking first makes every continuation held by
+  // pending events / downstream completions a no-op.
+  std::vector<std::shared_ptr<Visit>> doomed;
+  doomed.reserve(live_visits_.size());
+  for (auto& weak : live_visits_) {
+    auto visit = weak.lock();
+    if (!visit || visit->aborted || visit->completed) continue;
+    visit->aborted = true;
+    if (visit->admitted) {
+      for (auto& h : hooks_) {
+        if (h.on_aborted) h.on_aborted(sim_.now());
+      }
+    }
+    doomed.push_back(std::move(visit));
+  }
+  live_visits_.clear();
+  // Phase 2: wipe resources before any completion runs, so upstream
+  // reactions see a consistent (empty) server.
+  cpu_.abort_all();
+  disk_.clear_queue();
+  threads_.reset();
+  if (downstream_pool_) downstream_pool_->reset();
+  in_flight_ = 0;
+  aborted_ += doomed.size();
+  // Phase 3: error the requests — the upstream gets its reply (a reset
+  // connection) immediately, in arrival order.
+  for (auto& visit : doomed) {
+    if (visit->done) {
+      auto done = std::move(visit->done);
+      done();
+    }
+  }
+  return doomed.size();
+}
+
 void Server::finish(const std::shared_ptr<Visit>& visit) {
+  if (visit->aborted || visit->completed) return;
+  visit->completed = true;
   threads_.release();
   assert(in_flight_ > 0);
   --in_flight_;

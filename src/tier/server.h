@@ -68,6 +68,14 @@ class Server {
   /// Entry point: process `ctx` and invoke `done` when complete.
   void handle(const RequestContext& ctx, Completion done);
 
+  /// Crash semantics (VM failure, see cluster/vm.h): every in-flight request
+  /// is errored — its completion fires immediately (the upstream sees a
+  /// connection reset, not a hang) and it never counts as a departure — the
+  /// CPU run queue and disk queue are wiped, and both pools reset to empty.
+  /// The caller must stop routing to this server first. Returns the number
+  /// of requests aborted.
+  std::size_t fail();
+
   void set_downstream(DownstreamFn downstream);
 
   // ---- Soft-resource actuation (the paper's #threads / #DBconn knobs) ----
@@ -103,12 +111,17 @@ class Server {
   double cpu_busy_core_seconds() const { return cpu_.busy_core_seconds(); }
   double disk_busy_seconds() const { return disk_.busy_channel_seconds(); }
   std::uint64_t completed_requests() const { return completed_; }
+  /// Requests errored by fail() over the server's lifetime.
+  std::uint64_t aborted_requests() const { return aborted_; }
 
   /// Admission/departure hooks for the metrics layer. `rt` is the full
   /// in-server response time (arrival to departure, queueing included).
+  /// `on_aborted` fires for each *admitted* request errored by fail(), so
+  /// concurrency integrators can retire it without counting a completion.
   struct Hooks {
     std::function<void(SimTime)> on_admitted;
     std::function<void(SimTime, double rt)> on_departed;
+    std::function<void(SimTime)> on_aborted;
   };
   void add_hooks(Hooks hooks) { hooks_.push_back(std::move(hooks)); }
 
@@ -117,6 +130,7 @@ class Server {
   void start_processing(const std::shared_ptr<Visit>& visit);
   void run_downstream_calls(const std::shared_ptr<Visit>& visit);
   void finish(const std::shared_ptr<Visit>& visit);
+  void register_visit(const std::shared_ptr<Visit>& visit);
 
   Simulation& sim_;
   Params params_;
@@ -127,8 +141,12 @@ class Server {
   std::unique_ptr<TokenPool> downstream_pool_;
   DownstreamFn downstream_;
   std::vector<Hooks> hooks_;
+  /// Weak registry of in-flight visits so fail() can error them; compacted
+  /// lazily in register_visit (entries expire when a request departs).
+  std::vector<std::weak_ptr<Visit>> live_visits_;
   std::size_t in_flight_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t aborted_ = 0;
 };
 
 }  // namespace conscale

@@ -137,6 +137,33 @@ TEST_F(LbFixture, PolicySwitchAtRuntime) {
   EXPECT_EQ(lb.policy(), LbPolicy::kLeastConnections);
 }
 
+TEST_F(LbFixture, ParksRequestsWhileAllBackendsGone) {
+  // HAProxy-style surge queue: once a backend has *ever* existed, losing all
+  // of them (crash windows) parks new work instead of throwing.
+  LoadBalancer lb("lb", LbPolicy::kRoundRobin);
+  Server* a = add_server("a");
+  lb.add_backend(a);
+  lb.remove_backend(a);
+  int done = 0;
+  lb.dispatch(ctx(), [&] { ++done; });
+  lb.dispatch(ctx(), [&] { ++done; });
+  EXPECT_EQ(lb.surge_queued(), 2u);
+  EXPECT_EQ(lb.total_dispatched(), 0u);
+  // A backend coming back (restart) flushes the queue in FIFO order.
+  Server* b = add_server("b");
+  lb.add_backend(b);
+  EXPECT_EQ(lb.surge_queued(), 0u);
+  EXPECT_EQ(lb.total_dispatched(), 2u);
+  sim.run_all();
+  EXPECT_EQ(done, 2);
+}
+
+TEST_F(LbFixture, NeverHadBackendStillThrows) {
+  LoadBalancer lb("lb", LbPolicy::kRoundRobin);
+  EXPECT_THROW(lb.dispatch(ctx(), [] {}), std::runtime_error);
+  EXPECT_EQ(lb.surge_queued(), 0u);
+}
+
 TEST(LbPolicyNames, ToString) {
   EXPECT_EQ(to_string(LbPolicy::kRoundRobin), "roundrobin");
   EXPECT_EQ(to_string(LbPolicy::kLeastConnections), "leastconn");

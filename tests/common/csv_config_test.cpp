@@ -114,6 +114,39 @@ TEST(Config, MalformedFileLineThrows) {
   std::remove(path.c_str());
 }
 
+TEST(Config, RequireKnownKeysPassesOnKnownSubset) {
+  Config c;
+  c.set("work_scale", "16");
+  c.set("seed", "7");
+  EXPECT_NO_THROW(c.require_known_keys({"work_scale", "seed", "duration"}));
+  EXPECT_NO_THROW(Config().require_known_keys({}));  // empty config, any list
+}
+
+TEST(Config, RequireKnownKeysNamesEveryOffender) {
+  Config c;
+  c.set("durration", "60");  // the classic typo
+  c.set("work_scale", "16");
+  c.set("zeed", "7");
+  try {
+    c.require_known_keys({"work_scale", "seed", "duration"});
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    // Both unknown keys are listed (sorted), and the known ones are offered.
+    EXPECT_NE(message.find("durration"), std::string::npos) << message;
+    EXPECT_NE(message.find("zeed"), std::string::npos) << message;
+    EXPECT_NE(message.find("duration"), std::string::npos) << message;
+    EXPECT_EQ(message.find("work_scale,"), message.rfind("work_scale,"))
+        << "valid keys listed once: " << message;
+  }
+}
+
+TEST(Config, RequireKnownKeysIgnoresPositionals) {
+  const char* argv[] = {"prog", "positional", "seed=1"};
+  const Config c = Config::from_args(3, argv);
+  EXPECT_NO_THROW(c.require_known_keys({"seed"}));
+}
+
 TEST(Config, MergeOverrides) {
   Config base, overlay;
   base.set("a", "1");

@@ -44,10 +44,12 @@ TEST(ScenarioParams, TierIndicesAssignedInOrder) {
 TEST(ScenarioParams, MakeMixRespectsMode) {
   ScenarioParams p = ScenarioParams::paper_default();
   p.mode = WorkloadMode::kBrowseOnly;
-  for (const auto& c : p.make_mix().classes()) EXPECT_FALSE(c.is_write);
+  const RequestMix browse = p.make_mix();
+  for (const auto& c : browse.classes()) EXPECT_FALSE(c.is_write);
   p.mode = WorkloadMode::kReadWriteMix;
+  const RequestMix rw = p.make_mix();
   bool any_write = false;
-  for (const auto& c : p.make_mix().classes()) any_write |= c.is_write;
+  for (const auto& c : rw.classes()) any_write |= c.is_write;
   EXPECT_TRUE(any_write);
 }
 

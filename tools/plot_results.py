@@ -7,6 +7,9 @@ then:
 
     ./tools/plot_results.py out/fig10_ec2.csv out/fig10_conscale.csv
     ./tools/plot_results.py --scatter out/fig06_scatter.csv
+    ./tools/plot_results.py --windows out/resilience_crash_ConScale_windows.csv \\
+        out/resilience_crash_ConScale.csv
+    ./tools/plot_results.py --resilience out/resilience.csv
 
 Requires matplotlib (not needed by anything else in the repository).
 """
@@ -25,7 +28,33 @@ def read_csv(path):
     return {k: [float(r[k]) for r in rows] for k in rows[0]}
 
 
-def plot_timeline(paths, output):
+def read_csv_raw(path):
+    """Rows as dicts of strings (for CSVs with non-numeric columns)."""
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))
+
+
+# Shading colors per fault kind (matching src/faults/fault_plan.h kinds).
+FAULT_COLORS = {"crash": "tab:red", "cpu": "tab:orange",
+                "boot": "tab:purple", "drop": "tab:gray"}
+
+
+def shade_fault_windows(ax, windows_path):
+    """Shades each [start, end) window of a *_windows.csv on the axis."""
+    labeled = set()
+    for row in read_csv_raw(windows_path):
+        kind = row["kind"]
+        start, end = float(row["start"]), float(row["end"])
+        if end <= start:  # permanent crash: zero-length outage marker
+            ax.axvline(start, color=FAULT_COLORS.get(kind, "black"),
+                       linestyle="--", linewidth=1)
+            continue
+        ax.axvspan(start, end, color=FAULT_COLORS.get(kind, "black"),
+                   alpha=0.15, label=None if kind in labeled else kind)
+        labeled.add(kind)
+
+
+def plot_timeline(paths, output, windows=None):
     import matplotlib.pyplot as plt
 
     fig, (ax_rt, ax_tp) = plt.subplots(2, 1, figsize=(9, 6), sharex=True)
@@ -34,10 +63,49 @@ def plot_timeline(paths, output):
         label = os.path.splitext(os.path.basename(path))[0]
         ax_rt.plot(data["t"], data["mean_rt_ms"], label=label, linewidth=1)
         ax_tp.plot(data["t"], data["throughput_rps"], label=label, linewidth=1)
+    if windows:
+        shade_fault_windows(ax_rt, windows)
+        shade_fault_windows(ax_tp, windows)
     ax_rt.set_ylabel("Response Time [ms]")
     ax_rt.legend()
     ax_tp.set_ylabel("Throughput [reqs/s]")
     ax_tp.set_xlabel("Timeline [s]")
+    fig.tight_layout()
+    fig.savefig(output, dpi=150)
+    print(f"wrote {output}")
+
+
+def plot_resilience(path, output):
+    """Grouped tail-latency bars from bench_resilience's resilience.csv:
+    one group per fault scenario, one bar per framework, worst-case p99
+    across the traces in the grid."""
+    import matplotlib.pyplot as plt
+
+    rows = read_csv_raw(path)
+    if not rows:
+        raise SystemExit(f"{path}: empty CSV")
+    faults, frameworks, worst = [], [], {}
+    for row in rows:
+        fault, framework = row["fault"], row["framework"]
+        if fault not in faults:
+            faults.append(fault)
+        if framework not in frameworks:
+            frameworks.append(framework)
+        key = (fault, framework)
+        worst[key] = max(worst.get(key, 0.0), float(row["p99_ms"]))
+
+    fig, ax = plt.subplots(figsize=(9, 5))
+    width = 0.8 / len(frameworks)
+    for j, framework in enumerate(frameworks):
+        xs = [i + (j - (len(frameworks) - 1) / 2) * width
+              for i in range(len(faults))]
+        ys = [worst.get((fault, framework), 0.0) for fault in faults]
+        ax.bar(xs, ys, width=width, label=framework)
+    ax.set_xticks(range(len(faults)))
+    ax.set_xticklabels(faults)
+    ax.set_xlabel("Fault scenario")
+    ax.set_ylabel("Worst-case p99 [ms]")
+    ax.legend()
     fig.tight_layout()
     fig.savefig(output, dpi=150)
     print(f"wrote {output}")
@@ -65,6 +133,12 @@ def main():
     parser.add_argument("csvs", nargs="+", help="CSV files from a bench run")
     parser.add_argument("--scatter", action="store_true",
                         help="treat inputs as concurrency/throughput scatters")
+    parser.add_argument("--resilience", action="store_true",
+                        help="treat the input as bench_resilience's "
+                             "resilience.csv (per-fault tail-latency bars)")
+    parser.add_argument("--windows", default=None, metavar="CSV",
+                        help="a *_windows.csv from bench_resilience; shades "
+                             "the fault windows on the timeline")
     parser.add_argument("-o", "--output", default=None,
                         help="output PNG (default: derived from first input)")
     args = parser.parse_args()
@@ -74,13 +148,15 @@ def main():
     except ImportError:
         sys.exit("matplotlib is required: pip install matplotlib")
 
-    output = args.output or (
-        os.path.splitext(args.csvs[0])[0] +
-        ("_scatter.png" if args.scatter else "_timeline.png"))
+    suffix = ("_scatter.png" if args.scatter else
+              "_tails.png" if args.resilience else "_timeline.png")
+    output = args.output or (os.path.splitext(args.csvs[0])[0] + suffix)
     if args.scatter:
         plot_scatter(args.csvs, output)
+    elif args.resilience:
+        plot_resilience(args.csvs[0], output)
     else:
-        plot_timeline(args.csvs, output)
+        plot_timeline(args.csvs, output, windows=args.windows)
 
 
 if __name__ == "__main__":
