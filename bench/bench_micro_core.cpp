@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "metrics/interval.h"
+#include "metrics/warehouse.h"
 #include "resources/ps_resource.h"
 #include "resources/token_pool.h"
 #include "sct/estimator.h"
@@ -100,7 +101,52 @@ void BM_PsResourceChurn(benchmark::State& state) {
   }
   state.SetItemsProcessed(2000 * state.iterations());
 }
-BENCHMARK(BM_PsResourceChurn)->Arg(4)->Arg(32)->Arg(128);
+BENCHMARK(BM_PsResourceChurn)->Arg(4)->Arg(32)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_WarehouseIngestQuery(benchmark::State& state) {
+  // The monitoring hot path: 4 servers pushing 50 ms samples into the
+  // warehouse with a windowed estimator query every 100 ingests (the 5 s
+  // refresh), on top of an already-long series (realistic run lengths).
+  const auto prefill = static_cast<std::size_t>(state.range(0));
+  constexpr int kServers = 4;
+  constexpr int kSteps = 2000;
+  const std::vector<std::string> names = {"Tomcat1", "Tomcat2", "MySQL1",
+                                          "MySQL2"};
+  for (auto _ : state) {
+    state.PauseTiming();
+    MetricsWarehouse w;
+    // The monitor interns each server name once at attach time and records
+    // by dense id thereafter — mirror that here so the bench measures the
+    // actual per-sample cost, not a string hash per ingest.
+    std::vector<MetricsWarehouse::SeriesId> ids;
+    for (const auto& name : names) ids.push_back(w.server_id(name));
+    IntervalSample s;
+    s.throughput = 1000.0;
+    s.mean_rt = 0.01;
+    s.concurrency = 8.0;
+    s.completions = 50;
+    for (std::size_t i = 0; i < prefill; ++i) {
+      s.t_end = 0.05 * static_cast<double>(i + 1);
+      for (auto id : ids) w.record_server(id, s);
+    }
+    state.ResumeTiming();
+    double newest = 0.0;
+    for (int step = 0; step < kSteps; ++step) {
+      s.t_end = 0.05 * static_cast<double>(prefill + step + 1);
+      newest = s.t_end;
+      for (auto id : ids) w.record_server(id, s);
+      if (step % 100 == 99) {
+        for (auto id : ids) {
+          const auto window = w.server_window(id, 180.0, newest);
+          benchmark::DoNotOptimize(window.size());
+        }
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kSteps) * kServers *
+                          state.iterations());
+}
+BENCHMARK(BM_WarehouseIngestQuery)->Arg(3600)->Arg(14400);
 
 void BM_TokenPoolAcquireRelease(benchmark::State& state) {
   TokenPool pool("bench", 16);

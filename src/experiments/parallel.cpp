@@ -182,6 +182,8 @@ bool results_equivalent(const ScalingRunResult& a, const ScalingRunResult& b,
     return fail(diff, "requests_issued");
   if (a.requests_completed != b.requests_completed)
     return fail(diff, "requests_completed");
+  if (a.hook_underflows != b.hook_underflows)
+    return fail(diff, "hook_underflows");
 
   // Fault-injection outcome must replay exactly too (all fields zero/empty
   // for fault-free runs, so this is free there).

@@ -75,6 +75,11 @@ struct ScalingRunResult {
   double sla_500ms = 0.0;
   std::uint64_t requests_issued = 0;
   std::uint64_t requests_completed = 0;
+  /// Departure/abort hooks seen without a matching admission, summed over
+  /// every 50 ms aggregator. Always zero in a correct run — a nonzero value
+  /// means a hook-accounting bug is skewing the concurrency integral, and
+  /// tests assert on it rather than letting it silently shave Q.
+  std::uint64_t hook_underflows = 0;
   // ---- Fault-injection outcome (all zero / empty in fault-free runs) ----
   FaultInjectorStats fault_stats;
   std::vector<FaultWindow> fault_windows;

@@ -10,9 +10,11 @@ IntervalAggregator::IntervalAggregator(Simulation& sim, Server& server,
   // attachment (VMs added by scale-out) starts correct.
   current_ = server.processing();
   Server::Hooks hooks;
-  hooks.on_admitted = [this](SimTime now) { on_admitted(now); };
-  hooks.on_departed = [this](SimTime now, double rt) { on_departed(now, rt); };
-  hooks.on_aborted = [this](SimTime now) { on_aborted(now); };
+  hooks.on_admitted = [this](SimTime now) { note_admitted(now); };
+  hooks.on_departed = [this](SimTime now, double rt) {
+    note_departed(now, rt);
+  };
+  hooks.on_aborted = [this](SimTime now) { note_aborted(now); };
   server.add_hooks(std::move(hooks));
 }
 
@@ -34,23 +36,31 @@ void IntervalAggregator::advance_integral(SimTime now) {
   last_change_ = now;
 }
 
-void IntervalAggregator::on_admitted(SimTime now) {
+void IntervalAggregator::note_admitted(SimTime now) {
   advance_integral(now);
   ++current_;
 }
 
-void IntervalAggregator::on_departed(SimTime now, double rt) {
+void IntervalAggregator::note_departed(SimTime now, double rt) {
   advance_integral(now);
-  if (current_ > 0) --current_;
+  if (current_ == 0) {
+    ++hook_underflows_;  // accounting bug upstream; see hook_underflows()
+  } else {
+    --current_;
+  }
   ++completions_;
   rt_sum_ += rt;
 }
 
-void IntervalAggregator::on_aborted(SimTime now) {
+void IntervalAggregator::note_aborted(SimTime now) {
   // A crash-errored request leaves the concurrency integral but is not a
   // completion — throughput and mean RT must not credit it.
   advance_integral(now);
-  if (current_ > 0) --current_;
+  if (current_ == 0) {
+    ++hook_underflows_;
+  } else {
+    --current_;
+  }
 }
 
 void IntervalAggregator::emit(SimTime now) {

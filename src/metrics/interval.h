@@ -37,10 +37,20 @@ class IntervalAggregator {
 
   SimDuration period() const { return period_; }
 
+  /// Hook entry points (wired to the server's admission/departure/abort
+  /// hooks by the constructor; public so adapters and tests can drive the
+  /// aggregator without a Server).
+  void note_admitted(SimTime now);
+  void note_departed(SimTime now, double rt);
+  void note_aborted(SimTime now);
+
+  /// Departure/abort hooks that arrived with no matching admission. A
+  /// correct hook wiring never produces these; silently clamping them (the
+  /// old behavior) would skew the concurrency integral, so they are counted
+  /// and must be asserted zero by the harness (see MonitoringAgent).
+  std::uint64_t hook_underflows() const { return hook_underflows_; }
+
  private:
-  void on_admitted(SimTime now);
-  void on_departed(SimTime now, double rt);
-  void on_aborted(SimTime now);
   void advance_integral(SimTime now);
   void emit(SimTime now);
 
@@ -54,6 +64,7 @@ class IntervalAggregator {
   SimTime last_change_ = 0.0;
   double integral_ = 0.0;
   SimTime window_start_ = 0.0;
+  std::uint64_t hook_underflows_ = 0;
 
   // Completion accumulation for the current window.
   std::uint64_t completions_ = 0;

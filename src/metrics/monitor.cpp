@@ -20,11 +20,20 @@ void MonitoringAgent::attach(Vm& vm) {
   if (!attached_.insert(vm.name()).second) return;  // restarted VM
   auto aggregator = std::make_unique<IntervalAggregator>(
       sim_, vm.server(), params_.fine_period);
-  const std::string name = vm.name();
-  aggregator->start([this, name](const IntervalSample& sample) {
-    warehouse_.record_server(name, sample);
+  // Intern the series once at attach; every 50 ms ingest is then an index.
+  const MetricsWarehouse::SeriesId id = warehouse_.server_id(vm.name());
+  aggregator->start([this, id](const IntervalSample& sample) {
+    warehouse_.record_server(id, sample);
   });
   aggregators_.push_back(std::move(aggregator));
+}
+
+std::uint64_t MonitoringAgent::hook_underflows() const {
+  std::uint64_t total = 0;
+  for (const auto& aggregator : aggregators_) {
+    total += aggregator->hook_underflows();
+  }
+  return total;
 }
 
 void MonitoringAgent::on_client_completion(SimTime, double rt) {
@@ -36,12 +45,15 @@ void MonitoringAgent::on_client_completion(SimTime, double rt) {
 void MonitoringAgent::coarse_tick(SimTime now) {
   for (std::size_t i = 0; i < system_.tier_count(); ++i) {
     TierGroup& tier = system_.tier(i);
+    if (tier_ids_.size() <= i) {
+      tier_ids_.push_back(warehouse_.tier_id(tier.name()));
+    }
     TierSample sample;
     sample.t = now;
     sample.avg_cpu_utilization = tier.poll_avg_cpu_utilization();
     sample.billed_vms = static_cast<std::uint32_t>(tier.billed_vms());
     sample.running_vms = static_cast<std::uint32_t>(tier.running_vms());
-    warehouse_.record_tier(tier.name(), sample);
+    warehouse_.record_tier(tier_ids_[i], sample);
   }
   SystemSample sys;
   sys.t = now;

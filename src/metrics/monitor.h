@@ -40,6 +40,11 @@ class MonitoringAgent {
 
   const Params& params() const { return params_; }
 
+  /// Total hook underflows across every attached aggregator (see
+  /// IntervalAggregator::hook_underflows). Zero in a correct run; the
+  /// experiment runner exports it so tests fail loudly on accounting bugs.
+  std::uint64_t hook_underflows() const;
+
  private:
   void attach(Vm& vm);
   void coarse_tick(SimTime now);
@@ -53,6 +58,8 @@ class MonitoringAgent {
   /// Servers already wired. A restarted VM fires vm-ready again with the
   /// same server; attaching twice would double-count its samples.
   std::set<std::string> attached_;
+  /// Interned warehouse ids per tier index — the 1 s poll records by id.
+  std::vector<MetricsWarehouse::SeriesId> tier_ids_;
   std::unique_ptr<PeriodicTask> coarse_task_;
 
   // Per-second client completion accumulation.

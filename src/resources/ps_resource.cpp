@@ -10,6 +10,16 @@ namespace {
 // Completion times computed from double arithmetic can land a hair before
 // the job's remaining work reaches zero; treat anything below this as done.
 constexpr double kWorkEpsilon = 1e-12;
+
+// Min-heap on (finish_tag, id): std::*_heap build a max-heap under the
+// comparator, so "less" here means "completes later".
+bool completes_later(const ProcessorSharingResource::JobId lhs_id,
+                     double lhs_tag,
+                     const ProcessorSharingResource::JobId rhs_id,
+                     double rhs_tag) {
+  if (lhs_tag != rhs_tag) return lhs_tag > rhs_tag;
+  return lhs_id > rhs_id;
+}
 }  // namespace
 
 ProcessorSharingResource::ProcessorSharingResource(Simulation& sim, int cores,
@@ -23,6 +33,30 @@ ProcessorSharingResource::ProcessorSharingResource(Simulation& sim, int cores,
 
 ProcessorSharingResource::~ProcessorSharingResource() {
   completion_event_.cancel();
+}
+
+void ProcessorSharingResource::heap_push(HeapEntry entry) {
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const HeapEntry& a, const HeapEntry& b) {
+                   return completes_later(a.id, a.finish_tag, b.id,
+                                          b.finish_tag);
+                 });
+}
+
+void ProcessorSharingResource::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(),
+                [](const HeapEntry& a, const HeapEntry& b) {
+                  return completes_later(a.id, a.finish_tag, b.id,
+                                         b.finish_tag);
+                });
+  heap_.pop_back();
+}
+
+void ProcessorSharingResource::prune_stale_heap_top() {
+  while (!heap_.empty() && jobs_.find(heap_.front().id) == jobs_.end()) {
+    heap_pop();
+  }
 }
 
 double ProcessorSharingResource::per_job_rate() const {
@@ -41,22 +75,24 @@ void ProcessorSharingResource::advance_to_now() {
   busy_core_seconds_ += elapsed * std::min(n, static_cast<double>(cores_));
   const double served = elapsed * per_job_rate();
   if (served <= 0.0) return;
-  for (auto& [id, job] : jobs_) {
-    const double delta = std::min(job.remaining, served);
-    job.remaining -= delta;
-    work_done_ += delta;
-  }
+  v_ += served;
 }
 
 void ProcessorSharingResource::reschedule_completion() {
   completion_event_.cancel();
-  if (jobs_.empty()) return;
-  double min_remaining = std::numeric_limits<double>::infinity();
-  for (const auto& [id, job] : jobs_) {
-    min_remaining = std::min(min_remaining, job.remaining);
+  if (jobs_.empty()) {
+    // Idle: rebase the virtual clock so a new busy period starts at V = 0
+    // and finish tags never drift far from the magnitude of the demands.
+    v_ = 0.0;
+    sum_submit_v_ = 0.0;
+    heap_.clear();
+    return;
   }
+  prune_stale_heap_top();
+  assert(!heap_.empty());
   const double rate = per_job_rate();
   assert(rate > 0.0);
+  const double min_remaining = heap_.front().finish_tag - v_;
   const double delay = std::max(min_remaining, 0.0) / rate;
   completion_event_ =
       sim_.schedule_after(delay, [this] { on_completion_event(); });
@@ -64,38 +100,53 @@ void ProcessorSharingResource::reschedule_completion() {
 
 void ProcessorSharingResource::on_completion_event() {
   advance_to_now();
-  // Collect every job that has run out of work (ties complete together).
-  // If floating-point rounding left the frontrunner with a sliver of work so
-  // small that the rescheduled delay could underflow below one ulp of the
-  // clock, complete it now rather than risk a zero-progress event loop.
+  prune_stale_heap_top();
+  if (heap_.empty()) return;  // every candidate was aborted in the meantime
+  // Complete every job whose tag the clock has reached (ties finish
+  // together). If floating-point rounding left the frontrunner a sliver
+  // short — so small that the rescheduled delay could underflow below one
+  // ulp of the clock — complete it now rather than risk a zero-progress
+  // event loop.
   double threshold = kWorkEpsilon;
-  double min_remaining = std::numeric_limits<double>::infinity();
-  for (const auto& [id, job] : jobs_) {
-    min_remaining = std::min(min_remaining, job.remaining);
-  }
+  const double min_remaining = heap_.front().finish_tag - v_;
   if (min_remaining > threshold && min_remaining < 1e-9) {
     threshold = min_remaining;
   }
-  std::vector<CompletionCallback> callbacks;
-  for (auto it = jobs_.begin(); it != jobs_.end();) {
-    if (it->second.remaining <= threshold) {
-      callbacks.push_back(std::move(it->second.on_complete));
-      it = jobs_.erase(it);
-    } else {
-      ++it;
-    }
+  auto done = std::move(done_scratch_);
+  done.clear();
+  while (!heap_.empty()) {
+    prune_stale_heap_top();
+    if (heap_.empty() || heap_.front().finish_tag - v_ > threshold) break;
+    const HeapEntry top = heap_.front();
+    heap_pop();
+    auto it = jobs_.find(top.id);
+    assert(it != jobs_.end());
+    // Credit exactly the service delivered: the full demand, minus the
+    // sub-epsilon sliver when the event fired a hair early.
+    retired_work_ += std::min(top.finish_tag, v_) - it->second.submit_v;
+    sum_submit_v_ -= it->second.submit_v;
+    done.emplace_back(top.id, std::move(it->second.on_complete));
+    jobs_.erase(it);
   }
+  // Tied jobs complete in submission order regardless of heap layout.
+  std::sort(done.begin(), done.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   reschedule_completion();
   // Callbacks run after internal state is consistent: they may submit new
   // jobs to this very resource.
-  for (auto& callback : callbacks) callback();
+  for (auto& [id, callback] : done) callback();
+  done.clear();
+  done_scratch_ = std::move(done);
 }
 
 ProcessorSharingResource::JobId ProcessorSharingResource::submit(
     double work, CompletionCallback on_complete) {
   advance_to_now();
   const JobId id = next_id_++;
-  jobs_.emplace(id, Job{std::max(work, 0.0), std::move(on_complete)});
+  const double demand = std::max(work, 0.0);
+  jobs_.emplace(id, Job{v_ + demand, v_, std::move(on_complete)});
+  sum_submit_v_ += v_;
+  heap_push({v_ + demand, id});
   reschedule_completion();
   return id;
 }
@@ -104,7 +155,10 @@ bool ProcessorSharingResource::abort(JobId id) {
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return false;
   advance_to_now();
-  jobs_.erase(it);
+  const double demand = it->second.finish_tag - it->second.submit_v;
+  retired_work_ += std::clamp(v_ - it->second.submit_v, 0.0, demand);
+  sum_submit_v_ -= it->second.submit_v;
+  jobs_.erase(it);  // the heap entry goes stale and is skipped lazily
   reschedule_completion();
   return true;
 }
@@ -112,8 +166,10 @@ bool ProcessorSharingResource::abort(JobId id) {
 std::size_t ProcessorSharingResource::abort_all() {
   advance_to_now();
   const std::size_t killed = jobs_.size();
+  retired_work_ += static_cast<double>(killed) * v_ - sum_submit_v_;
   jobs_.clear();
-  reschedule_completion();
+  sum_submit_v_ = 0.0;
+  reschedule_completion();  // empties and rebases
   return killed;
 }
 
@@ -137,6 +193,12 @@ void ProcessorSharingResource::set_contention(ContentionModel contention) {
   reschedule_completion();
 }
 
+double ProcessorSharingResource::remaining(JobId id) const {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return -1.0;
+  return std::max(it->second.finish_tag - v_, 0.0);
+}
+
 double ProcessorSharingResource::busy_core_seconds() const {
   // Include the partially-integrated current interval so 1 s pollers see
   // up-to-date utilization.
@@ -147,6 +209,13 @@ double ProcessorSharingResource::busy_core_seconds() const {
     busy += std::max(elapsed, 0.0) * std::min(n, static_cast<double>(cores_));
   }
   return busy;
+}
+
+double ProcessorSharingResource::work_done() const {
+  // Retired jobs carry their full credited service; live jobs have received
+  // v_ - submit_v each, summed in O(1) via the maintained sum.
+  return retired_work_ +
+         static_cast<double>(jobs_.size()) * v_ - sum_submit_v_;
 }
 
 }  // namespace conscale

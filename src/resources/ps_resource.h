@@ -8,10 +8,21 @@
 //
 // i.e. with n <= cores every job runs at full speed; beyond that the cores
 // are shared equally; and the ContentionModel shrinks everyone's rate as
-// concurrency grows. Between membership changes rates are constant, so the
-// next completion is exactly the job with the smallest remaining work; the
-// resource advances all jobs lazily at each event and reschedules the single
-// pending completion event (O(active jobs) per event).
+// concurrency grows.
+//
+// Implementation (DESIGN.md §6.5): because every active job is served at the
+// *same* instantaneous rate, per-job progress never needs to be stored — the
+// resource keeps a virtual service clock V(t), the cumulative service each
+// continuously-present job has received. V is piecewise linear in real time
+// (dV/dt = rate(n), constant between membership/configuration changes). A
+// job submitted when the clock reads V_s with demand w completes when
+// V reaches V_s + w; that *finish tag* is immutable, so jobs live in a
+// min-heap keyed on (finish tag, id). Advancing to now is O(1) (bump V),
+// a completion pops in O(log n), and abort just drops the job from the id
+// map — its heap entry is stale and gets skipped lazily. A busy period at
+// concurrency n therefore costs O(log n) per event instead of the O(n)
+// full-scan of the per-job-decrement formulation (kept as a test-only
+// reference in tests/resources/reference_ps_resource.h).
 //
 // Busy-core time is integrated continuously so the cluster layer can report
 // the CPU utilization signal the scaling controllers act on.
@@ -20,6 +31,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "resources/contention.h"
@@ -62,24 +74,38 @@ class ProcessorSharingResource {
   const ContentionModel& contention() const { return contention_; }
   std::size_t active_jobs() const { return jobs_.size(); }
 
+  /// Remaining demand of an active job (finish tag minus the virtual clock),
+  /// clamped at 0; -1 if the job already completed or was aborted.
+  double remaining(JobId id) const;
+
   /// Cumulative busy-core-seconds (integrated min(n, cores), *not* reduced
   /// by the contention factor: a thrashing CPU is still a busy CPU, which is
   /// exactly why hardware-only autoscalers get fooled).
   double busy_core_seconds() const;
 
   /// Cumulative CPU-seconds of useful work completed.
-  double work_done() const { return work_done_; }
+  double work_done() const;
 
  private:
   struct Job {
-    double remaining = 0.0;
+    double finish_tag = 0.0;  ///< virtual clock value at which the job ends
+    double submit_v = 0.0;    ///< virtual clock value at submission
     CompletionCallback on_complete;
+  };
+  /// Heap entries outlive aborted jobs (lazy deletion); an entry is live iff
+  /// its id is still in jobs_ — ids are never reused, so that test suffices.
+  struct HeapEntry {
+    double finish_tag = 0.0;
+    JobId id = 0;
   };
 
   double per_job_rate() const;
   void advance_to_now();
   void reschedule_completion();
   void on_completion_event();
+  void heap_push(HeapEntry entry);
+  void heap_pop();
+  void prune_stale_heap_top();
 
   Simulation& sim_;
   int cores_;
@@ -87,12 +113,25 @@ class ProcessorSharingResource {
   ContentionModel contention_;
 
   std::unordered_map<JobId, Job> jobs_;
+  std::vector<HeapEntry> heap_;  ///< min-heap on (finish_tag, id)
   JobId next_id_ = 1;
   SimTime last_update_ = 0.0;
   EventHandle completion_event_;
 
+  /// Virtual service clock: cumulative per-job service delivered during the
+  /// current busy period (rebased to 0 whenever the resource goes idle, so
+  /// finish tags keep full double precision over arbitrarily long runs).
+  double v_ = 0.0;
+  /// Sum of submit_v over active jobs — lets work_done() credit the partial
+  /// service of in-flight jobs in O(1): sum(v_ - submit_v) over live jobs.
+  double sum_submit_v_ = 0.0;
+
   double busy_core_seconds_ = 0.0;
-  double work_done_ = 0.0;
+  /// Work credited to jobs that already left (completed or aborted).
+  double retired_work_ = 0.0;
+  /// Callback scratch reused across completion events (swap-guarded, so a
+  /// callback resubmitting into this resource cannot alias the iteration).
+  std::vector<std::pair<JobId, CompletionCallback>> done_scratch_;
 };
 
 }  // namespace conscale

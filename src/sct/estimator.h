@@ -16,6 +16,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -90,7 +91,9 @@ class SctEstimator {
 
  private:
   struct Analysis {
-    std::vector<const ConcurrencyBucket*> buckets;
+    /// View into the ScatterSet's dense-bucket scratch; valid for the
+    /// duration of one estimate()/classify() call.
+    std::span<const ConcurrencyBucket* const> buckets;
     std::vector<double> smoothed;
     std::size_t peak_index = 0;
     double tp_max = 0.0;

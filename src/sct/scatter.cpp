@@ -1,5 +1,6 @@
 #include "sct/scatter.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace conscale {
@@ -7,37 +8,33 @@ namespace conscale {
 void ScatterSet::add(const IntervalSample& sample) {
   if (sample.concurrency < 0.5) return;
   const int q = static_cast<int>(std::lround(sample.concurrency));
-  auto& bucket = buckets_[q];
-  bucket.q = q;
-  bucket.throughput.add(sample.throughput);
+  auto it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), q,
+      [](const ConcurrencyBucket& b, int level) { return b.q < level; });
+  if (it == buckets_.end() || it->q != q) {
+    it = buckets_.insert(it, ConcurrencyBucket{});
+    it->q = q;
+  }
+  it->throughput.add(sample.throughput);
   // Intervals with no completions say "saturated/stalled", which matters for
   // throughput; they carry no RT observation though.
-  if (sample.completions > 0) bucket.response_time.add(sample.mean_rt);
+  if (sample.completions > 0) it->response_time.add(sample.mean_rt);
   ++total_samples_;
 }
 
-void ScatterSet::add_all(const std::vector<IntervalSample>& samples) {
+void ScatterSet::add_all(std::span<const IntervalSample> samples) {
   for (const auto& s : samples) add(s);
 }
 
-std::vector<const ConcurrencyBucket*> ScatterSet::ordered() const {
-  std::vector<const ConcurrencyBucket*> out;
-  out.reserve(buckets_.size());
-  for (const auto& [q, bucket] : buckets_) out.push_back(&bucket);
-  return out;
-}
-
-std::vector<const ConcurrencyBucket*> ScatterSet::ordered_dense(
+std::span<const ConcurrencyBucket* const> ScatterSet::ordered_dense(
     std::size_t min_samples) const {
-  std::vector<const ConcurrencyBucket*> out;
-  for (const auto& [q, bucket] : buckets_) {
-    if (bucket.throughput.count() >= min_samples) out.push_back(&bucket);
+  dense_scratch_.clear();
+  for (const auto& bucket : buckets_) {
+    if (bucket.throughput.count() >= min_samples) {
+      dense_scratch_.push_back(&bucket);
+    }
   }
-  return out;
-}
-
-int ScatterSet::max_q() const {
-  return buckets_.empty() ? 0 : buckets_.rbegin()->first;
+  return dense_scratch_;
 }
 
 void ScatterSet::clear() {

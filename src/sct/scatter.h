@@ -4,9 +4,16 @@
 // concurrency level Q_n; for each level we keep full running statistics of
 // throughput and response time — the t-test in the estimation phase needs
 // variances, not just means.
+//
+// Buckets are stored in a vector sorted by Q (levels are few and dense, so
+// the occasional ordered insert is cheap); ordered views are spans over
+// that storage — the estimator runs every few seconds on every tier and
+// must not reallocate pointer vectors per invocation. A returned view is
+// invalidated by the next add()/clear() (and, for ordered_dense, by the
+// next ordered_dense call).
 #pragma once
 
-#include <map>
+#include <span>
 #include <vector>
 
 #include "common/stats.h"
@@ -27,25 +34,29 @@ class ScatterSet {
   /// concurrency-throughput relation).
   void add(const IntervalSample& sample);
 
-  void add_all(const std::vector<IntervalSample>& samples);
+  void add_all(std::span<const IntervalSample> samples);
 
-  /// Buckets in increasing-Q order.
-  std::vector<const ConcurrencyBucket*> ordered() const;
+  /// Buckets in increasing-Q order (view over internal storage).
+  std::span<const ConcurrencyBucket> ordered() const { return buckets_; }
 
-  /// Buckets with at least `min_samples` observations, increasing Q.
-  std::vector<const ConcurrencyBucket*> ordered_dense(
+  /// Buckets with at least `min_samples` observations, increasing Q. The
+  /// view is backed by a scratch buffer reused across calls.
+  std::span<const ConcurrencyBucket* const> ordered_dense(
       std::size_t min_samples) const;
 
   std::size_t total_samples() const { return total_samples_; }
   std::size_t bucket_count() const { return buckets_.size(); }
   bool empty() const { return buckets_.empty(); }
-  int max_q() const;
+  int max_q() const { return buckets_.empty() ? 0 : buckets_.back().q; }
 
   void clear();
 
  private:
-  std::map<int, ConcurrencyBucket> buckets_;
+  std::vector<ConcurrencyBucket> buckets_;  ///< sorted by q
   std::size_t total_samples_ = 0;
+  /// Reused by ordered_dense (rebuilt on every call, so stale pointers from
+  /// a copied/moved-from set never leak out).
+  mutable std::vector<const ConcurrencyBucket*> dense_scratch_;
 };
 
 }  // namespace conscale

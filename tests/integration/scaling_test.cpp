@@ -195,6 +195,10 @@ TEST(ScalingIntegration, ConScaleBeatsEc2OnTailLatency) {
   EXPECT_LT(con.p99_ms, 0.7 * ec2.p99_ms)
       << "EC2 p99=" << ec2.p99_ms << "ms ConScale p99=" << con.p99_ms << "ms";
   EXPECT_GE(con.requests_completed, ec2.requests_completed * 95 / 100);
+  // Hook accounting must balance: any unmatched departure/abort would have
+  // silently skewed the concurrency integral before PR 5 made it countable.
+  EXPECT_EQ(ec2.hook_underflows, 0u);
+  EXPECT_EQ(con.hook_underflows, 0u);
 }
 
 TEST(ScalingIntegration, BothFrameworksScaleHardwareIdentically) {

@@ -106,6 +106,48 @@ TEST_F(IntervalFixture, StopCeasesEmission) {
   EXPECT_EQ(samples.size(), 2u);
 }
 
+TEST_F(IntervalFixture, UnmatchedDepartureCountsAsUnderflow) {
+  IntervalAggregator agg(sim, *server, 1.0);
+  agg.start([&](const IntervalSample& s) { samples.push_back(s); });
+  // A departure with no prior admission is a wiring bug; it must be counted,
+  // not silently absorbed into the concurrency integral.
+  agg.note_departed(0.0, 0.1);
+  EXPECT_EQ(agg.hook_underflows(), 1u);
+  agg.note_aborted(0.0);
+  EXPECT_EQ(agg.hook_underflows(), 2u);
+  sim.run_until(1.0);
+  ASSERT_EQ(samples.size(), 1u);
+  // The integral stays at zero concurrency — underflows never drive it
+  // negative or offset later admissions.
+  EXPECT_NEAR(samples[0].concurrency, 0.0, 1e-12);
+  // The bogus departure still registers as a completion (it carried an RT),
+  // which is exactly why the underflow counter must flag the imbalance.
+  EXPECT_EQ(samples[0].completions, 1u);
+}
+
+TEST_F(IntervalFixture, BalancedHooksNeverUnderflow) {
+  IntervalAggregator agg(sim, *server, 1.0);
+  agg.start([&](const IntervalSample& s) { samples.push_back(s); });
+  for (int i = 0; i < 8; ++i) submit(0.25);
+  sim.run_until(2.0);
+  EXPECT_EQ(agg.hook_underflows(), 0u);
+}
+
+TEST_F(IntervalFixture, UnderflowDoesNotMaskLaterAdmissions) {
+  IntervalAggregator agg(sim, *server, 1.0);
+  agg.start([&](const IntervalSample& s) { samples.push_back(s); });
+  // Old behavior decremented only when current_ > 0, so a stray departure
+  // after an admission would shave real occupancy. Now: stray *before* any
+  // admission is counted and the subsequent request integrates at full
+  // weight.
+  agg.note_aborted(0.0);
+  submit(1.0);
+  sim.run_until(1.0);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(agg.hook_underflows(), 1u);
+  EXPECT_NEAR(samples[0].concurrency, 1.0, 1e-9);
+}
+
 TEST_F(IntervalFixture, MidRunAttachmentSeedsInFlight) {
   // Attach the aggregator while a request is already being processed; the
   // integrator must start from the live processing count.

@@ -1,0 +1,186 @@
+// ReferencePsResource: the pre-virtual-time ProcessorSharingResource kept
+// verbatim as a *test-only* oracle. It stores per-job remaining work and, at
+// every event, decrements all of it (O(n) advance) and rescans for the next
+// completion (O(n) reschedule) — the textbook formulation whose correctness
+// is easy to audit line by line. The production class replaces both loops
+// with a virtual service clock and a finish-tag heap (DESIGN.md §6.5); the
+// randomized equivalence suite in ps_equivalence_test.cpp drives identical
+// schedules through both and asserts identical completion order and times.
+//
+// One deliberate deviation from the historical code: jobs live in a std::map
+// (not unordered_map), so tied completions fire in JobId (= submission)
+// order — the same tie-break the virtual-time implementation guarantees.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "resources/contention.h"
+#include "simcore/simulation.h"
+
+namespace conscale {
+
+class ReferencePsResource {
+ public:
+  using JobId = std::uint64_t;
+  using CompletionCallback = std::function<void()>;
+
+  ReferencePsResource(Simulation& sim, int cores, double speed = 1.0,
+                      ContentionModel contention = ContentionModel::none())
+      : sim_(sim), cores_(cores), speed_(speed), contention_(contention),
+        last_update_(sim.now()) {
+    assert(cores_ >= 1);
+    assert(speed_ > 0.0);
+  }
+  ~ReferencePsResource() { completion_event_.cancel(); }
+  ReferencePsResource(const ReferencePsResource&) = delete;
+  ReferencePsResource& operator=(const ReferencePsResource&) = delete;
+
+  JobId submit(double work, CompletionCallback on_complete) {
+    advance_to_now();
+    const JobId id = next_id_++;
+    jobs_.emplace(id, Job{std::max(work, 0.0), std::move(on_complete)});
+    reschedule_completion();
+    return id;
+  }
+
+  bool abort(JobId id) {
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    advance_to_now();
+    jobs_.erase(it);
+    reschedule_completion();
+    return true;
+  }
+
+  std::size_t abort_all() {
+    advance_to_now();
+    const std::size_t killed = jobs_.size();
+    jobs_.clear();
+    reschedule_completion();
+    return killed;
+  }
+
+  void set_cores(int cores) {
+    assert(cores >= 1);
+    advance_to_now();
+    cores_ = cores;
+    reschedule_completion();
+  }
+
+  void set_speed(double speed) {
+    assert(speed > 0.0);
+    advance_to_now();
+    speed_ = speed;
+    reschedule_completion();
+  }
+
+  void set_contention(ContentionModel contention) {
+    advance_to_now();
+    contention_ = contention;
+    reschedule_completion();
+  }
+
+  int cores() const { return cores_; }
+  double speed() const { return speed_; }
+  std::size_t active_jobs() const { return jobs_.size(); }
+  double work_done() const { return work_done_; }
+
+  double busy_core_seconds() const {
+    double busy = busy_core_seconds_;
+    if (!jobs_.empty()) {
+      const double elapsed = sim_.now() - last_update_;
+      const auto n = static_cast<double>(jobs_.size());
+      busy += std::max(elapsed, 0.0) * std::min(n, static_cast<double>(cores_));
+    }
+    return busy;
+  }
+
+ private:
+  struct Job {
+    double remaining = 0.0;
+    CompletionCallback on_complete;
+  };
+
+  static constexpr double kWorkEpsilon = 1e-12;
+
+  double per_job_rate() const {
+    const auto n = static_cast<double>(jobs_.size());
+    if (n == 0.0) return 0.0;
+    const double share = std::min(1.0, static_cast<double>(cores_) / n);
+    return speed_ * share * contention_.efficiency(n);
+  }
+
+  void advance_to_now() {
+    const SimTime now = sim_.now();
+    const double elapsed = now - last_update_;
+    last_update_ = now;
+    if (elapsed <= 0.0 || jobs_.empty()) return;
+    const auto n = static_cast<double>(jobs_.size());
+    busy_core_seconds_ += elapsed * std::min(n, static_cast<double>(cores_));
+    const double served = elapsed * per_job_rate();
+    if (served <= 0.0) return;
+    for (auto& [id, job] : jobs_) {
+      const double delta = std::min(job.remaining, served);
+      job.remaining -= delta;
+      work_done_ += delta;
+    }
+  }
+
+  void reschedule_completion() {
+    completion_event_.cancel();
+    if (jobs_.empty()) return;
+    double min_remaining = std::numeric_limits<double>::infinity();
+    for (const auto& [id, job] : jobs_) {
+      min_remaining = std::min(min_remaining, job.remaining);
+    }
+    const double rate = per_job_rate();
+    assert(rate > 0.0);
+    const double delay = std::max(min_remaining, 0.0) / rate;
+    completion_event_ =
+        sim_.schedule_after(delay, [this] { on_completion_event(); });
+  }
+
+  void on_completion_event() {
+    advance_to_now();
+    double threshold = kWorkEpsilon;
+    double min_remaining = std::numeric_limits<double>::infinity();
+    for (const auto& [id, job] : jobs_) {
+      min_remaining = std::min(min_remaining, job.remaining);
+    }
+    if (min_remaining > threshold && min_remaining < 1e-9) {
+      threshold = min_remaining;
+    }
+    std::vector<CompletionCallback> callbacks;
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+      if (it->second.remaining <= threshold) {
+        callbacks.push_back(std::move(it->second.on_complete));
+        it = jobs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    reschedule_completion();
+    for (auto& callback : callbacks) callback();
+  }
+
+  Simulation& sim_;
+  int cores_;
+  double speed_;
+  ContentionModel contention_;
+
+  std::map<JobId, Job> jobs_;
+  JobId next_id_ = 1;
+  SimTime last_update_ = 0.0;
+  EventHandle completion_event_;
+
+  double busy_core_seconds_ = 0.0;
+  double work_done_ = 0.0;
+};
+
+}  // namespace conscale

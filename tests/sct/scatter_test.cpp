@@ -23,9 +23,9 @@ TEST(ScatterSet, BucketsByRoundedConcurrency) {
   EXPECT_EQ(scatter.bucket_count(), 1u);  // all round to 10
   const auto ordered = scatter.ordered();
   ASSERT_EQ(ordered.size(), 1u);
-  EXPECT_EQ(ordered[0]->q, 10);
-  EXPECT_EQ(ordered[0]->throughput.count(), 3u);
-  EXPECT_NEAR(ordered[0]->throughput.mean(), 110.0, 1e-9);
+  EXPECT_EQ(ordered[0].q, 10);
+  EXPECT_EQ(ordered[0].throughput.count(), 3u);
+  EXPECT_NEAR(ordered[0].throughput.mean(), 110.0, 1e-9);
 }
 
 TEST(ScatterSet, SkipsIdleSamples) {
@@ -41,8 +41,8 @@ TEST(ScatterSet, ZeroCompletionIntervalsCountForThroughputOnly) {
   scatter.add(sample(5.0, 0.0, 0.0, 0));
   const auto ordered = scatter.ordered();
   ASSERT_EQ(ordered.size(), 1u);
-  EXPECT_EQ(ordered[0]->throughput.count(), 1u);
-  EXPECT_EQ(ordered[0]->response_time.count(), 0u);
+  EXPECT_EQ(ordered[0].throughput.count(), 1u);
+  EXPECT_EQ(ordered[0].response_time.count(), 0u);
 }
 
 TEST(ScatterSet, OrderedIsSortedByQ) {
@@ -52,9 +52,9 @@ TEST(ScatterSet, OrderedIsSortedByQ) {
   scatter.add(sample(20.0, 1.0));
   const auto ordered = scatter.ordered();
   ASSERT_EQ(ordered.size(), 3u);
-  EXPECT_EQ(ordered[0]->q, 10);
-  EXPECT_EQ(ordered[1]->q, 20);
-  EXPECT_EQ(ordered[2]->q, 30);
+  EXPECT_EQ(ordered[0].q, 10);
+  EXPECT_EQ(ordered[1].q, 20);
+  EXPECT_EQ(ordered[2].q, 30);
 }
 
 TEST(ScatterSet, DenseFilterDropsThinBuckets) {
