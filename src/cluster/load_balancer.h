@@ -8,7 +8,6 @@
 #include <deque>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "tier/server.h"
@@ -52,13 +51,28 @@ class LoadBalancer {
     Completion done;
   };
 
+  /// One entry per server ever registered, in registration order — the slot
+  /// index is the server's stable identity inside this LB. Keying the
+  /// outstanding-connection counters by slot (not by Server*) removes the
+  /// only address-dependent container this class ever had: no allocation
+  /// order can influence tie-breaks or iteration (detlint: pointer-key).
+  struct BackendSlot {
+    Server* server;
+    std::size_t outstanding = 0;
+  };
+
+  std::size_t slot_of(const Server* server) const;
+  std::size_t ensure_slot(Server* server);
   Server* choose_backend();
   void flush_surge_queue();
 
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
   std::string name_;
   LbPolicy policy_;
-  std::vector<Server*> backends_;
-  std::unordered_map<const Server*, std::size_t> outstanding_;
+  std::vector<BackendSlot> slots_;      ///< append-only registry
+  std::vector<Server*> backends_;       ///< currently dispatchable
+  std::vector<std::size_t> backend_slots_;  ///< slot of backends_[k]
   std::deque<Parked> waiting_;
   std::size_t rr_index_ = 0;
   std::uint64_t dispatched_ = 0;

@@ -60,9 +60,9 @@ ScalingRunResult run_scaling(const ScenarioParams& params,
                                : make_framework_config(params);
   ScalingFramework framework(sim, system, *warehouse, kind, config, ctx);
 
-  auto submit_fn = [&system](const RequestContext& ctx,
+  auto submit_fn = [&system](const RequestContext& request,
                              std::function<void()> done) {
-    system.submit(ctx, std::move(done));
+    system.submit(request, std::move(done));
   };
   auto completion_hook = [&monitor](SimTime issued, double rt,
                                     const RequestClass&) {

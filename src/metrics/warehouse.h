@@ -101,6 +101,10 @@ class MetricsWarehouse {
                          std::unordered_map<std::string, SeriesId>& index,
                          std::vector<std::string>& names);
 
+  // Determinism audit (DESIGN.md §8): both indexes are lookup-only — every
+  // access is find/emplace/clear by key; ordered traversal always goes
+  // through the SeriesId-indexed vectors below, so hash order can never
+  // reach a result.
   std::unordered_map<std::string, SeriesId> server_index_;
   std::unordered_map<std::string, SeriesId> tier_index_;
   std::vector<std::string> server_names_;  ///< by SeriesId

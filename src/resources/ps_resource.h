@@ -112,6 +112,9 @@ class ProcessorSharingResource {
   double speed_;
   ContentionModel contention_;
 
+  // Determinism audit (DESIGN.md §8): accessed only by key (find/emplace/
+  // erase/size/clear); completion order is decided by the finish-tag heap
+  // below, with ties broken by JobId — hash order never surfaces.
   std::unordered_map<JobId, Job> jobs_;
   std::vector<HeapEntry> heap_;  ///< min-heap on (finish_tag, id)
   JobId next_id_ = 1;

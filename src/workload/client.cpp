@@ -17,6 +17,10 @@ ClientPopulation::ClientPopulation(Simulation& sim, const WorkloadTrace& trace,
 
 ClientPopulation::~ClientPopulation() {
   adjust_task_.reset();
+  // Order-independence proof: cancel() only flips each user's own arena
+  // slot; no slot is shared between users, nothing is measured afterwards,
+  // and the destructor runs after all results are extracted.
+  // detlint: allow(unordered-iter) teardown-only; per-user cancel is commutative
   for (auto& [id, user] : users_) user.think_event.cancel();
 }
 

@@ -77,6 +77,9 @@ class ClientPopulation {
   Rng rng_;
   CompletionHook hook_;
 
+  // Determinism audit (DESIGN.md §8): keyed access only on the run path;
+  // the destructor's cancel sweep is the single iteration, waived in the
+  // .cpp with an order-independence proof.
   std::unordered_map<std::uint64_t, User> users_;
   std::uint64_t next_user_id_ = 1;
   std::uint64_t next_request_id_ = 1;

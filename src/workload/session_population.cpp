@@ -19,6 +19,10 @@ SessionPopulation::SessionPopulation(Simulation& sim,
 
 SessionPopulation::~SessionPopulation() {
   adjust_task_.reset();
+  // Order-independence proof: cancel() only flips each user's own arena
+  // slot; no slot is shared between users, nothing is measured afterwards,
+  // and the destructor runs after all results are extracted.
+  // detlint: allow(unordered-iter) teardown-only; per-user cancel is commutative
   for (auto& [id, user] : users_) user.pending.cancel();
 }
 

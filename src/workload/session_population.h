@@ -79,6 +79,11 @@ class SessionPopulation {
   Params params_;
   Rng rng_;
 
+  // Determinism audit (DESIGN.md §8): users_ is accessed by key everywhere
+  // on the run path (spawn/retire/issue via user id); the single iteration
+  // is the destructor's cancel sweep, waived in the .cpp with an
+  // order-independence proof. Retirement picks the user whose event fires
+  // next, not a hash-order victim.
   std::unordered_map<std::uint64_t, User> users_;
   std::uint64_t next_user_id_ = 1;
   std::uint64_t next_request_id_ = 1;

@@ -164,6 +164,80 @@ TEST_F(LbFixture, NeverHadBackendStillThrows) {
   EXPECT_EQ(lb.surge_queued(), 0u);
 }
 
+// Determinism regression: the pick sequence must depend only on the logical
+// registration order, never on where the Server objects happen to live in
+// memory. The old implementation keyed outstanding-connection counts by
+// Server* in an unordered_map — iteration order (and any future tie-break
+// someone might write against it) would have followed allocation addresses.
+// Two topologies whose servers are *allocated* in shuffled order (with heap
+// padding so addresses genuinely differ) but *registered* identically must
+// produce byte-identical pick sequences under both policies.
+TEST(LbDeterminism, PickSequenceIndependentOfAllocationOrder) {
+  struct Topology {
+    Simulation sim;
+    std::vector<std::unique_ptr<Server>> owners;
+    std::vector<Server*> ordered;  // logical registration order a,b,c,d
+
+    explicit Topology(const std::vector<int>& allocation_order) {
+      ordered.resize(4, nullptr);
+      std::vector<std::unique_ptr<int[]>> padding;
+      for (int which : allocation_order) {
+        // Perturb heap layout between server allocations.
+        padding.push_back(std::make_unique<int[]>(
+            64 * static_cast<std::size_t>(which + 1)));
+        Server::Params p;
+        p.name = std::string(1, static_cast<char>('a' + which));
+        p.thread_pool_size = 100;
+        owners.push_back(std::make_unique<Server>(sim, p));
+        ordered[static_cast<std::size_t>(which)] = owners.back().get();
+      }
+    }
+  };
+
+  RequestClass cls;
+  cls.name = "c";
+  cls.demand_cv = 0.0;
+  cls.tiers.resize(1);
+  cls.tiers[0].pure_delay = 1.0;
+
+  for (LbPolicy policy :
+       {LbPolicy::kLeastConnections, LbPolicy::kRoundRobin}) {
+    auto pick_sequence = [&cls, policy](const std::vector<int>& alloc_order) {
+      Topology topo(alloc_order);
+      LoadBalancer lb("lb", policy);
+      for (Server* s : topo.ordered) lb.add_backend(s);
+      std::string picks;
+      std::uint64_t id = 1;
+      for (int i = 0; i < 32; ++i) {
+        RequestContext ctx;
+        ctx.id = id++;
+        ctx.request_class = &cls;
+        // Track which server the dispatch landed on via in_flight deltas.
+        std::vector<std::size_t> before;
+        before.reserve(topo.ordered.size());
+        for (Server* s : topo.ordered) before.push_back(s->in_flight());
+        lb.dispatch(ctx, [] {});
+        for (std::size_t k = 0; k < topo.ordered.size(); ++k) {
+          if (topo.ordered[k]->in_flight() != before[k]) {
+            picks += static_cast<char>('a' + static_cast<char>(k));
+          }
+        }
+        // Drain a request midway so leastconn ties re-form.
+        if (i == 15) topo.sim.run_all();
+      }
+      topo.sim.run_all();
+      return picks;
+    };
+
+    const std::string forward = pick_sequence({0, 1, 2, 3});
+    const std::string shuffled = pick_sequence({3, 1, 0, 2});
+    const std::string reversed = pick_sequence({2, 3, 1, 0});
+    EXPECT_EQ(forward, shuffled) << to_string(policy);
+    EXPECT_EQ(forward, reversed) << to_string(policy);
+    EXPECT_EQ(forward.size(), 32u) << to_string(policy);
+  }
+}
+
 TEST(LbPolicyNames, ToString) {
   EXPECT_EQ(to_string(LbPolicy::kRoundRobin), "roundrobin");
   EXPECT_EQ(to_string(LbPolicy::kLeastConnections), "leastconn");

@@ -71,7 +71,9 @@ TEST_F(BreakdownFixture, TierAggregationMergesReplicas) {
     if (r.tier == "MySQL") mysql_total += r.completions;
   }
   for (const auto& r : tiers) {
-    if (r.tier == "MySQL") EXPECT_EQ(r.completions, mysql_total);
+    if (r.tier == "MySQL") {
+      EXPECT_EQ(r.completions, mysql_total);
+    }
   }
 }
 

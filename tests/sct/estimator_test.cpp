@@ -279,8 +279,8 @@ INSTANTIATE_TEST_SUITE_P(
         EstimatorCase{"high_throughput",
                       {10, 30, 60, 50000.0, 800.0, 0.05, 30},
                       2}),
-    [](const ::testing::TestParamInfo<EstimatorCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<EstimatorCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(SctEstimator, SparseBucketsAreIgnored) {

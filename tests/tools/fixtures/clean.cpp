@@ -1,0 +1,41 @@
+// Golden fixture: a fully clean file — detlint must report nothing here.
+// Exercises the look-alikes that a sloppy grep would flag: identifiers
+// containing banned substrings, member functions named like libc calls,
+// ordered containers with value keys, and deleted special members.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Simulation {
+  double now() const { return t_; }
+  double time() const { return t_; }
+  double t_ = 0.0;
+};
+
+class Runtime {
+ public:
+  Runtime() = default;
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  double stretch_time(double factor) const { return sim_.time() * factor; }
+  double randomize_nothing() const { return 0.0; }  // name only, no RNG
+
+ private:
+  Simulation sim_;
+  std::map<std::string, std::uint64_t> per_state_;  // value key: fine
+  std::vector<std::unique_ptr<int>> owned_;
+};
+
+inline double iterate_ordered(const Runtime&,
+                              const std::map<std::string, double>& m) {
+  double sum = 0.0;
+  for (const auto& [key, value] : m) sum += value;  // ordered: fine
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+#include "pairing.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace fixture {
+
+double Population::total() const {
+  double sum = 0.0;
+  for (const auto& [id, value] : members_) {  // EXPECT: unordered-iter
+    sum += value;
+  }
+  return sum;
+}
+
+double Population::keyed_total() const {
+  // The sanctioned pattern: collect keys (waived — collection order cannot
+  // affect the result once sorted), sort, then iterate the sorted view.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(members_.size());
+  for (const auto& [id, value] : members_) {  // detlint: allow(unordered-iter) keys only collected, then sorted below
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  double sum = 0.0;
+  for (std::uint64_t id : ids) sum += members_.at(id);
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Golden fixture: the unordered-name table pairs foo.h with foo.cpp, the
+// common shape where a member is declared in the header and iterated in the
+// source file.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+class Population {
+ public:
+  double total() const;
+  double keyed_total() const;
+
+ private:
+  std::unordered_map<std::uint64_t, double> members_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,73 @@
+// Golden fixture: every line tagged `EXPECT: <rule>` must be reported by
+// detlint, at that line, with that rule. The test driver copies this file
+// outside any tests/ directory (so the unordered-iter rule is live) and
+// diffs detlint's output against the EXPECT markers; a rule that goes
+// blind fails the suite.
+//
+// This file is never compiled; it only has to lex like C++.
+#include <chrono>  // EXPECT: banned-api
+#include <random>  // EXPECT: banned-api
+#include <ctime>   // EXPECT: banned-api
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Server {};
+
+struct State {
+  std::unordered_map<int, double> table_;
+  std::unordered_set<int> seen_;
+  std::unordered_map<const Server*, int> by_server_;  // EXPECT: pointer-key
+  std::map<Server*, int> ordered_by_server_;          // EXPECT: pointer-key
+  std::vector<int> fine_;
+};
+
+inline double wall_clock_now() {
+  auto t = std::chrono::steady_clock::now();  // EXPECT: banned-api
+  (void)t;
+  long stamp = time(nullptr);  // EXPECT: banned-api
+  (void)clock();               // EXPECT: banned-api
+  return static_cast<double>(stamp) + rand();  // EXPECT: banned-api
+}
+
+inline int ambient_rng() {
+  std::random_device device;  // EXPECT: banned-api
+  std::mt19937 engine(device());  // EXPECT: banned-api
+  thread_local int counter = 0;   // EXPECT: banned-api
+  return static_cast<int>(engine()) + counter++;
+}
+
+inline double sum_table(State& s) {
+  double total = 0.0;
+  for (auto& [key, value] : s.table_) {  // EXPECT: unordered-iter
+    total += value;
+  }
+  for (auto it = s.seen_.begin(); it != s.seen_.end(); ++it) {  // EXPECT: unordered-iter
+    total += *it;
+  }
+  // Iterating a vector is always fine.
+  for (int v : s.fine_) total += v;
+  return total;
+}
+
+inline int* leak_some_memory() {
+  int* p = new int[4];  // EXPECT: raw-new
+  delete[] p;           // EXPECT: raw-new
+  return new int(7);    // EXPECT: raw-new
+}
+
+// Deterministic look-alikes that must NOT fire: member calls named like libc
+// time functions, identifiers merely containing the banned substrings, and
+// deleted special members.
+struct Sim {
+  double time() const { return 0.0; }
+  Sim(const Sim&) = delete;
+  Sim& operator=(const Sim&) = delete;
+};
+inline double stretch_time(const Sim& sim) { return sim.time(); }
+inline double runtime_of(const Sim& sim) { return sim.time(); }
+
+}  // namespace fixture

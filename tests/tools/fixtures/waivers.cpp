@@ -1,0 +1,44 @@
+// Golden fixture: waiver semantics. Correct waivers silence their own line
+// and the line below; a waiver without a reason, a waiver naming an unknown
+// rule, and a waiver that suppresses nothing are themselves violations.
+//
+// Markers read by the test driver:
+//   EXPECT: <rule>       — detlint must report <rule> at this line
+//   EXPECT-PREV: <rule>  — detlint must report <rule> at the previous line
+#include <unordered_map>
+
+namespace fixture {
+
+struct Counters {
+  std::unordered_map<int, long> hits_;
+};
+
+inline long drain(Counters& c) {
+  long total = 0;
+  // detlint: allow(unordered-iter) summation is commutative; order cannot matter
+  for (auto& [key, value] : c.hits_) total += value;
+  return total;
+}
+
+inline long drain_same_line(Counters& c) {
+  long total = 0;
+  for (auto& [key, value] : c.hits_) total += value;  // detlint: allow(unordered-iter) commutative sum
+  return total;
+}
+
+inline long naked_waiver(Counters& c) {
+  long total = 0;
+  // detlint: allow(unordered-iter)
+  // EXPECT-PREV: bad-waiver
+  for (auto& [key, value] : c.hits_) total += value;  // EXPECT: unordered-iter
+  return total;
+}
+
+// detlint: allow(made-up-rule) this rule does not exist
+// EXPECT-PREV: bad-waiver
+
+// detlint: allow(raw-new) nothing below ever allocates
+// EXPECT-PREV: unused-waiver
+inline int harmless() { return 42; }
+
+}  // namespace fixture

@@ -68,8 +68,8 @@ TEST_P(AllTraceKinds, DeterministicForSameSeed) {
 
 INSTANTIATE_TEST_SUITE_P(
     Shapes, AllTraceKinds, ::testing::ValuesIn(all_trace_kinds()),
-    [](const ::testing::TestParamInfo<TraceKind>& info) {
-      return to_string(info.param);
+    [](const ::testing::TestParamInfo<TraceKind>& param_info) {
+      return to_string(param_info.param);
     });
 
 TEST(WorkloadTrace, InterpolatesBetweenSamples) {
