@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
     spec.params = env.params;
     spec.params.lb_policy = policy;
     spec.trace = TraceKind::kBigSpike;
-    spec.framework = FrameworkKind::kConScale;
+    spec.framework = "conscale";
     spec.options.duration = env.duration;
     specs.push_back(spec);
   }

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
     spec.label = sessions ? "markov-sessions" : "iid-draws";
     spec.params = env.params;
     spec.trace = TraceKind::kLargeVariations;
-    spec.framework = FrameworkKind::kConScale;
+    spec.framework = "conscale";
     spec.options.duration = env.duration;
     spec.options.session_workload = sessions;
     specs.push_back(spec);

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
     RunSpec spec;
     spec.params = env.params;
     spec.trace = TraceKind::kLargeVariations;
-    spec.framework = FrameworkKind::kConScale;
+    spec.framework = "conscale";
     spec.options.duration = env.duration;
     spec.options.framework_config = config;
     specs.push_back(spec);

@@ -129,6 +129,39 @@ struct BenchEnv {
   }
 };
 
+/// Resolves a bench's `frameworks=` list against the controller registry
+/// (falling back to `fallback` when the key is absent). Every name is
+/// validated before any run starts — an unknown controller aborts with the
+/// registered list, never silently runs a default grid.
+inline std::vector<ControllerRef> frameworks_from(
+    const Config& config, const std::string& fallback) {
+  return ControllerRegistry::global().parse_list(
+      config.get_string("frameworks", fallback));
+}
+
+/// True when `--list-controllers` appears on the command line (checked
+/// before key validation so it works standalone).
+inline bool list_controllers_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--list-controllers") return true;
+  }
+  return false;
+}
+
+/// Prints the controller registry as a table (key, display name,
+/// description, reference), in registry (alphabetical) order.
+inline void print_controller_list(std::ostream& out) {
+  out << "registered controllers (frameworks= accepts a comma-separated "
+         "list; options via name(k=v;k2=v2)):\n";
+  for (const ControllerSpec* spec : ControllerRegistry::global().all()) {
+    out << "  " << spec->name << " (" << spec->display_name << ")\n"
+        << "      " << spec->description << "\n";
+    if (!spec->reference.empty()) {
+      out << "      ref: " << spec->reference << "\n";
+    }
+  }
+}
+
 inline void banner(const std::string& title, const std::string& paper_ref) {
   std::cout << "\n================================================================\n"
             << title << "\n" << paper_ref

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   const ScalingRunOptions options = env.scaling_options();
   const ScalingRunResult result =
       run_scaling(env.params, TraceKind::kLargeVariations,
-                  FrameworkKind::kEc2AutoScaling, options);
+                  "ec2", options);
 
   print_performance_timeline(std::cout, "Fig 1: EC2-AutoScaling, RT timeline",
                              result);

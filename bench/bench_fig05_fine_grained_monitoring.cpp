@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   const ScalingRunOptions options = env.scaling_options();
   const ScalingRunResult result =
       run_scaling(env.params, TraceKind::kLargeVariations,
-                  FrameworkKind::kEc2AutoScaling, options);
+                  "ec2", options);
 
   // The paper's window (85-105 s) is where MySQL concurrency fluctuates the
   // hardest after a Tomcat joins; our trace timing differs, so locate the

@@ -20,11 +20,11 @@ int main(int argc, char** argv) {
   std::vector<RunSpec> specs(2);
   specs[0].params = env.params;
   specs[0].trace = TraceKind::kLargeVariations;
-  specs[0].framework = FrameworkKind::kEc2AutoScaling;
+  specs[0].framework = "ec2";
   specs[0].options = options;
   specs[1].params = env.params;
   specs[1].trace = TraceKind::kLargeVariations;
-  specs[1].framework = FrameworkKind::kConScale;
+  specs[1].framework = "conscale";
   specs[1].options = options;
   const std::vector<ScalingRunResult> results = env.run_all(specs);
   const ScalingRunResult& ec2 = results[0];

@@ -45,12 +45,12 @@ int main(int argc, char** argv) {
   std::vector<RunSpec> specs(2);
   specs[0].params = params;
   specs[0].trace = TraceKind::kLargeVariations;
-  specs[0].framework = FrameworkKind::kDcm;
+  specs[0].framework = "dcm";
   specs[0].options = options;
   specs[0].options.framework_config = dcm_config;
   specs[1].params = params;
   specs[1].trace = TraceKind::kLargeVariations;
-  specs[1].framework = FrameworkKind::kConScale;
+  specs[1].framework = "conscale";
   specs[1].options = options;
   const std::vector<ScalingRunResult> results = env.run_all(specs);
   const ScalingRunResult& dcm = results[0];

@@ -55,9 +55,11 @@ std::vector<std::pair<std::string, std::string>> fault_scenarios(
 }  // namespace
 
 int main(int argc, char** argv) {
-  BenchEnv env = BenchEnv::from_args(argc, argv, {"traces"});
+  BenchEnv env = BenchEnv::from_args(argc, argv, {"traces", "frameworks"});
   const Config config = Config::from_args(argc, argv);
   const long trace_limit = config.get_int("traces", 6);
+  const std::vector<ControllerRef> frameworks =
+      frameworks_from(config, "ec2,dcm,conscale");
   banner("Resilience — EC2-AutoScaling vs DCM vs ConScale under faults",
          "Fault injection beyond the paper: the SCT loop must degrade "
          "gracefully when VMs crash, neighbors steal CPU, provisioning "
@@ -68,15 +70,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(trace_limit) < traces.size()) {
     traces.resize(static_cast<std::size_t>(trace_limit));
   }
-  const std::vector<FrameworkKind> frameworks = {
-      FrameworkKind::kEc2AutoScaling, FrameworkKind::kDcm,
-      FrameworkKind::kConScale};
   const auto scenarios = fault_scenarios(env.duration);
-
-  // DCM trains offline once, on clean conditions — the profile does not get
-  // to see the faults, exactly like a real pre-trained model would not.
-  std::cout << "  training DCM offline (clean conditions)...\n";
-  const DcmProfile profile = train_dcm_profile(env.params);
 
   // One framework config for all runs, with the dropout guards on: hold
   // decisions when the newest tier sample is older than 5 s, and keep the
@@ -85,21 +79,29 @@ int main(int argc, char** argv) {
   base_config.controller.metric_staleness_limit = 5.0;
   base_config.estimator.max_staleness = 30.0;
   FrameworkConfig dcm_config = base_config;
-  dcm_config.dcm_profile = profile;
+  if (std::any_of(frameworks.begin(), frameworks.end(),
+                  [](const ControllerRef& ref) { return ref.name == "dcm"; })) {
+    // DCM trains offline once, on clean conditions — the profile does not
+    // get to see the faults, exactly like a real pre-trained model would not.
+    std::cout << "  training DCM offline (clean conditions)...\n";
+    dcm_config.dcm_profile = train_dcm_profile(env.params);
+  }
 
+  const ControllerRegistry& registry = ControllerRegistry::global();
   std::vector<RunSpec> specs;
   for (const auto& [fault_name, plan_text] : scenarios) {
-    for (FrameworkKind framework : frameworks) {
+    for (const ControllerRef& framework : frameworks) {
       for (TraceKind trace : traces) {
         RunSpec spec;
-        spec.label = fault_name + "/" + to_string(framework) + "/" +
+        spec.label = fault_name + "/" +
+                     registry.at(framework.name).display_name + "/" +
                      to_string(trace);
         spec.params = env.params;
         spec.trace = trace;
-        spec.framework = framework;
+        spec.framework = to_string(framework);
         spec.options.duration = env.duration;
         spec.options.framework_config =
-            framework == FrameworkKind::kDcm ? dcm_config : base_config;
+            framework.name == "dcm" ? dcm_config : base_config;
         if (!plan_text.empty()) {
           spec.options.faults = FaultPlan::parse(plan_text);
         }

@@ -11,6 +11,7 @@
 //
 // The claim to preserve: ConScale wins across the board, and its p99 stays
 // bounded (paper: < 500 ms) while EC2's blows past 1-4 s on bursty traces.
+#include <algorithm>
 #include <vector>
 
 #include "bench_common.h"
@@ -19,7 +20,12 @@ using namespace conscale;
 using namespace conscale::bench;
 
 int main(int argc, char** argv) {
-  BenchEnv env = BenchEnv::from_args(argc, argv);
+  // Extra key: frameworks= (controller-registry references; unknown names
+  // abort with the registered list). Default reproduces the paper's table.
+  BenchEnv env = BenchEnv::from_args(argc, argv, {"frameworks"});
+  const Config config = Config::from_args(argc, argv);
+  const std::vector<ControllerRef> frameworks =
+      frameworks_from(config, "ec2,conscale");
   banner("Table I — tail latency, EC2-AutoScaling vs ConScale, six traces",
          "Paper: ConScale keeps p99 < ~500 ms everywhere; EC2 spikes to "
          "multi-second p99 on the bursty traces.");
@@ -27,23 +33,33 @@ int main(int argc, char** argv) {
   ScalingRunOptions options;
   options.duration = env.duration;
 
-  // The full 12-cell grid (6 traces × 2 frameworks) as one fan-out.
+  // Offline training only when DCM is actually in the grid.
+  ScalingRunOptions dcm_options = options;
+  if (std::any_of(frameworks.begin(), frameworks.end(),
+                  [](const ControllerRef& ref) { return ref.name == "dcm"; })) {
+    std::cout << "  training DCM offline...\n";
+    FrameworkConfig dcm_config = make_framework_config(env.params);
+    dcm_config.dcm_profile = train_dcm_profile(env.params);
+    dcm_options.framework_config = dcm_config;
+  }
+
+  // The full grid (6 traces × frameworks) as one fan-out.
   std::vector<RunSpec> specs;
   for (TraceKind kind : all_trace_kinds()) {
-    for (FrameworkKind framework :
-         {FrameworkKind::kEc2AutoScaling, FrameworkKind::kConScale}) {
+    for (const ControllerRef& framework : frameworks) {
       RunSpec spec;
       spec.params = env.params;
       spec.trace = kind;
-      spec.framework = framework;
-      spec.options = options;
+      spec.framework = to_string(framework);
+      spec.options = framework.name == "dcm" ? dcm_options : options;
       specs.push_back(spec);
     }
   }
   const std::vector<ScalingRunResult> results = env.run_all(specs);
 
   std::vector<TailRow> rows;
-  double ec2_p99_worst = 0.0, con_p99_worst = 0.0;
+  // Worst-case p99 per framework, in frameworks= order.
+  std::vector<double> worst_p99(frameworks.size(), 0.0);
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ScalingRunResult& result = results[i];
     rows.push_back({result.framework_name, result.trace_name,
@@ -53,18 +69,18 @@ int main(int argc, char** argv) {
               << "ms p99=" << static_cast<int>(result.p99_ms) << "ms, "
               << static_cast<int>(result.sla_500ms * 100.0)
               << "% of requests within 500 ms\n";
-    if (specs[i].framework == FrameworkKind::kEc2AutoScaling) {
-      ec2_p99_worst = std::max(ec2_p99_worst, result.p99_ms);
-    } else {
-      con_p99_worst = std::max(con_p99_worst, result.p99_ms);
-    }
+    const std::size_t f = i % frameworks.size();
+    worst_p99[f] = std::max(worst_p99[f], result.p99_ms);
   }
   print_tail_table(std::cout, "Table I (measured)", rows);
 
-  std::cout << "\n  worst-case p99: EC2-AutoScaling="
-            << static_cast<int>(ec2_p99_worst)
-            << " ms vs ConScale=" << static_cast<int>(con_p99_worst)
-            << " ms\n";
+  std::cout << "\n  worst-case p99: ";
+  for (std::size_t f = 0; f < frameworks.size(); ++f) {
+    if (f > 0) std::cout << " vs ";
+    std::cout << results[f].framework_name << "="
+              << static_cast<int>(worst_p99[f]) << " ms";
+  }
+  std::cout << "\n";
   paper_note("Table I: paper worst-case p99 — EC2 3981 ms vs ConScale "
              "479 ms.");
   return 0;

@@ -6,7 +6,7 @@
 // Usage:
 //   autoscale_demo [trace=large_variations|quickly_varying|slowly_varying|
 //                   big_spike|dual_phase|steep_tri_phase]
-//                  [framework=conscale|ec2|both] [duration=720]
+//                  [framework=<registry ref>|both] [duration=720]
 //                  [work_scale=4] [max_users=7500] [seed=12345]
 #include <iostream>
 #include <string>
@@ -27,10 +27,11 @@ TraceKind parse_trace(const std::string& name) {
 }
 
 void run_one(const ScenarioParams& params, TraceKind trace,
-             FrameworkKind kind, SimDuration duration) {
+             const std::string& framework, SimDuration duration) {
   ScalingRunOptions options;
   options.duration = duration;
-  const ScalingRunResult result = run_scaling(params, trace, kind, options);
+  const ScalingRunResult result =
+      run_scaling(params, trace, framework, options);
   print_performance_timeline(std::cout,
                              result.framework_name + " on " + result.trace_name,
                              result);
@@ -55,11 +56,13 @@ int main(int argc, char** argv) try {
   const SimDuration duration = config.get_double("duration", 720.0);
   const std::string framework = config.get_string("framework", "both");
 
-  if (framework == "ec2" || framework == "both") {
-    run_one(params, trace, FrameworkKind::kEc2AutoScaling, duration);
-  }
-  if (framework == "conscale" || framework == "both") {
-    run_one(params, trace, FrameworkKind::kConScale, duration);
+  if (framework == "both") {
+    run_one(params, trace, "ec2", duration);
+    run_one(params, trace, "conscale", duration);
+  } else {
+    // Any registered controller reference works here ("pi", "holt-winters",
+    // "conscale(headroom=1.2)", ...); unknown names abort with the list.
+    run_one(params, trace, framework, duration);
   }
   return 0;
 } catch (const std::exception& e) {

@@ -69,11 +69,9 @@ int main(int argc, char** argv) try {
     std::uint64_t completed;
   };
   std::vector<Row> rows;
-  for (FrameworkKind kind :
-       {FrameworkKind::kEc2AutoScaling, FrameworkKind::kDcm,
-        FrameworkKind::kConScale}) {
+  for (const std::string framework : {"ec2", "dcm", "conscale"}) {
     ScalingRunOptions run_options = options;
-    if (kind == FrameworkKind::kDcm) {
+    if (framework == "dcm") {
       // Give DCM a profile trained on exactly these conditions — its best
       // case (no staleness in this example).
       FrameworkConfig fc = make_framework_config(params);
@@ -81,11 +79,11 @@ int main(int argc, char** argv) try {
       run_options.framework_config = fc;
     }
     const ScalingRunResult result =
-        run_scaling(params, trace, kind, run_options);
+        run_scaling(params, trace, framework, run_options);
     rows.push_back({result.framework_name, result.p95_ms, result.p99_ms,
                     result.max_rt_ms, result.requests_completed});
     print_performance_timeline(std::cout, result.framework_name, result);
-    if (kind == FrameworkKind::kConScale) {
+    if (framework == "conscale") {
       print_events(std::cout, result.events);
     }
     std::cout << '\n';

@@ -31,6 +31,15 @@ bool HardwareAgent::scale_vertical(std::size_t tier_index, int cores) {
   return true;
 }
 
+bool HardwareAgent::set_tier_cpu_entitlement(std::size_t tier_index,
+                                             double factor) {
+  if (!(factor > 0.0)) return false;
+  TierGroup& tier = system_.tier(tier_index);
+  tier.set_vm_cpu_speed_factor(TierGroup::kAllVms, factor);
+  events_.push_back({sim_.now(), tier.name(), "entitlement", factor});
+  return true;
+}
+
 SoftwareAgent::SoftwareAgent(Simulation& sim, NTierSystem& system,
                              const RunContext* context)
     : sim_(sim), system_(system),

@@ -36,6 +36,11 @@ class HardwareAgent {
   /// changes the tier's optimal concurrency (§III-C.1) — callers should let
   /// the soft-resource policy adapt afterwards.
   bool scale_vertical(std::size_t tier_index, int cores);
+  /// Fine-grained vertical scaling: sets every VM in the tier's CPU
+  /// entitlement (per-core speed as a fraction of nominal; VMs created
+  /// later inherit it). The hypervisor-credit knob the zoo's vertical
+  /// controller drives. Returns false for factors outside (0, inf).
+  bool set_tier_cpu_entitlement(std::size_t tier_index, double factor);
 
   const std::vector<ScalingEvent>& events() const { return events_; }
 

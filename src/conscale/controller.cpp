@@ -36,6 +36,13 @@ DecisionController::DecisionController(Simulation& sim, NTierSystem& system,
   }
 }
 
+ControllerCounters DecisionController::counters() const {
+  return {{"adapts", adapts_},
+          {"scale_ins", scale_ins_},
+          {"scale_outs", scale_outs_},
+          {"stale_skips", stale_skips_}};
+}
+
 void DecisionController::tick(SimTime now) {
   for (std::size_t i = 0; i < system_.tier_count(); ++i) {
     TierGroup& tier = system_.tier(i);

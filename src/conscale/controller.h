@@ -1,12 +1,18 @@
-// DecisionController (Fig 8): the control loop. Every second it reads each
-// tier's CPU utilization from the Metrics Warehouse, runs the shared
-// threshold rule, and orders the hardware agent to scale out/in. Whenever a
-// hardware action completes (the new VM is Running, or a drain has started),
-// it asks the soft-resource policy to adapt — which is where
-// EC2-AutoScaling, DCM, and ConScale diverge.
+// The controller layer. `Controller` is the abstract plug-in interface every
+// scaling framework's decision loop implements; registered builders
+// (conscale/registry.h) return one per run. `DecisionController` (Fig 8) is
+// the shared threshold-rule implementation the paper's three frameworks use:
+// every second it reads each tier's CPU utilization from the Metrics
+// Warehouse, runs the shared threshold rule, and orders the hardware agent
+// to scale out/in. Whenever a hardware action completes (the new VM is
+// Running, or a drain has started), it asks the soft-resource policy to
+// adapt — which is where EC2-AutoScaling, DCM, and ConScale diverge.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/ntier_system.h"
@@ -17,6 +23,24 @@
 #include "simcore/simulation.h"
 
 namespace conscale {
+
+/// Generic, ordered counter map every controller reports through — the
+/// report/CSV/JSON layers iterate it without knowing the controller type,
+/// so a new plug-in's counters surface with zero report-layer changes.
+using ControllerCounters = std::map<std::string, std::uint64_t>;
+
+/// Abstract decision loop: the per-run object that watches the warehouse
+/// and drives the hardware/software agents. Implementations schedule their
+/// own periodic tasks on the run's Simulation at construction time; the
+/// framework owns them for the lifetime of the run. Keep construction
+/// side-effect-free beyond scheduling — runs must stay bit-reproducible.
+class Controller {
+ public:
+  virtual ~Controller() = default;
+  /// Diagnostic counters for reports (decision/actuation totals). Keys are
+  /// free-form but stable within a controller; values are run totals.
+  virtual ControllerCounters counters() const = 0;
+};
 
 struct ControllerConfig {
   ThresholdRuleParams rule;
@@ -32,7 +56,7 @@ struct ControllerConfig {
   SimDuration metric_staleness_limit = 0.0;
 };
 
-class DecisionController {
+class DecisionController : public Controller {
  public:
   DecisionController(Simulation& sim, NTierSystem& system,
                      const MetricsWarehouse& warehouse, HardwareAgent& hw,
@@ -44,6 +68,8 @@ class DecisionController {
   std::uint64_t adapt_count() const { return adapts_; }
   /// Tier-ticks skipped because metrics were stale (dropout guard).
   std::uint64_t stale_skip_count() const { return stale_skips_; }
+
+  ControllerCounters counters() const override;
 
  private:
   void tick(SimTime now);

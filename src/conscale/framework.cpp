@@ -1,46 +1,38 @@
 #include "conscale/framework.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace conscale {
 
-std::string to_string(FrameworkKind kind) {
-  switch (kind) {
-    case FrameworkKind::kEc2AutoScaling:
-      return "EC2-AutoScaling";
-    case FrameworkKind::kDcm:
-      return "DCM";
-    case FrameworkKind::kConScale:
-      return "ConScale";
-  }
-  return "?";
-}
-
 ScalingFramework::ScalingFramework(Simulation& sim, NTierSystem& system,
                                    MetricsWarehouse& warehouse,
-                                   FrameworkKind kind, FrameworkConfig config,
-                                   const RunContext* context)
-    : kind_(kind), name_(to_string(kind)) {
+                                   const std::string& controller_ref,
+                                   FrameworkConfig config,
+                                   const RunContext* context) {
+  const ControllerRef ref = parse_controller_ref(controller_ref);
+  const ControllerSpec& spec = ControllerRegistry::global().at(ref.name);
+  key_ = spec.name;
+  name_ = spec.display_name;
+  if (!ref.options.empty()) {
+    if (!spec.configure) {
+      throw std::runtime_error("controller '" + spec.name +
+                               "' takes no options (reference was '" +
+                               controller_ref + "')");
+    }
+    spec.configure(ref.options, config);
+  }
   hw_ = std::make_unique<HardwareAgent>(sim, system, context);
   sw_ = std::make_unique<SoftwareAgent>(sim, system, context);
-  switch (kind_) {
-    case FrameworkKind::kEc2AutoScaling:
-      policy_ = std::make_unique<Ec2AutoScalingPolicy>();
-      break;
-    case FrameworkKind::kDcm:
-      policy_ = std::make_unique<DcmPolicy>(system, *sw_, config.targets,
-                                            config.dcm_profile);
-      break;
-    case FrameworkKind::kConScale:
-      estimator_ = std::make_unique<ConcurrencyEstimatorService>(
-          sim, system, warehouse, config.estimator, context);
-      policy_ = std::make_unique<ConScalePolicy>(system, *sw_, config.targets,
-                                                 *estimator_,
-                                                 config.conscale_headroom);
-      break;
+  FrameworkParts parts = spec.build(ControllerBuildContext{
+      sim, system, warehouse, *hw_, *sw_, config, context});
+  if (!parts.controller) {
+    throw std::runtime_error("controller '" + spec.name +
+                             "': builder returned no controller");
   }
-  controller_ = std::make_unique<DecisionController>(
-      sim, system, warehouse, *hw_, *sw_, *policy_, config.controller);
+  estimator_ = std::move(parts.estimator);
+  policy_ = std::move(parts.policy);
+  controller_ = std::move(parts.controller);
 }
 
 std::vector<ScalingEvent> ScalingFramework::all_events() const {
@@ -53,5 +45,75 @@ std::vector<ScalingEvent> ScalingFramework::all_events() const {
                    });
   return events;
 }
+
+namespace detail {
+
+void register_builtin_controllers(ControllerRegistry& registry) {
+  registry.register_spec(ControllerSpec{
+      .name = "ec2",
+      .display_name = "EC2-AutoScaling",
+      .description = "reactive threshold hardware scaling; soft resources "
+                     "stay at their static initial allocation",
+      .reference = "paper baseline (Amazon EC2 Auto Scaling)",
+      .configure = nullptr,
+      .build =
+          [](const ControllerBuildContext& ctx) {
+            FrameworkParts parts;
+            parts.policy = std::make_unique<Ec2AutoScalingPolicy>();
+            parts.controller = std::make_unique<DecisionController>(
+                ctx.sim, ctx.system, ctx.warehouse, ctx.hw, ctx.sw,
+                *parts.policy, ctx.config.controller);
+            return parts;
+          },
+  });
+  registry.register_spec(ControllerSpec{
+      .name = "dcm",
+      .display_name = "DCM",
+      .description = "threshold scaling plus offline pre-profiled optimal "
+                     "concurrency (stale when conditions drift)",
+      .reference = "Wang et al., TPDS'18",
+      .configure = nullptr,
+      .build =
+          [](const ControllerBuildContext& ctx) {
+            FrameworkParts parts;
+            parts.policy = std::make_unique<DcmPolicy>(
+                ctx.system, ctx.sw, ctx.config.targets,
+                ctx.config.dcm_profile);
+            parts.controller = std::make_unique<DecisionController>(
+                ctx.sim, ctx.system, ctx.warehouse, ctx.hw, ctx.sw,
+                *parts.policy, ctx.config.controller);
+            return parts;
+          },
+  });
+  registry.register_spec(ControllerSpec{
+      .name = "conscale",
+      .display_name = "ConScale",
+      .description = "threshold scaling plus the online SCT concurrency "
+                     "estimator (the paper's contribution)",
+      .reference = "Liu et al., IPPS'20",
+      .configure =
+          [](const ControllerOptions& options, FrameworkConfig& config) {
+            OptionReader reader("conscale", options);
+            reader.get("headroom", config.conscale_headroom);
+            reader.finish();
+          },
+      .build =
+          [](const ControllerBuildContext& ctx) {
+            FrameworkParts parts;
+            parts.estimator = std::make_unique<ConcurrencyEstimatorService>(
+                ctx.sim, ctx.system, ctx.warehouse, ctx.config.estimator,
+                ctx.run_context);
+            parts.policy = std::make_unique<ConScalePolicy>(
+                ctx.system, ctx.sw, ctx.config.targets, *parts.estimator,
+                ctx.config.conscale_headroom);
+            parts.controller = std::make_unique<DecisionController>(
+                ctx.sim, ctx.system, ctx.warehouse, ctx.hw, ctx.sw,
+                *parts.policy, ctx.config.controller);
+            return parts;
+          },
+  });
+}
+
+}  // namespace detail
 
 }  // namespace conscale

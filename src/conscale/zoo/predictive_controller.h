@@ -1,0 +1,51 @@
+// Holt-Winters predictive autoscaler (controller zoo). The reactive
+// frameworks all pay the VM preparation delay *after* a ramp arrives: the
+// threshold rule needs sustained hot samples, then the new VM needs
+// vm_prep_delay (15 s) to boot, and the tail spikes in between. This
+// controller instead runs double-exponential smoothing (level + trend) on
+// the observed completion rate and scales each tier to the load forecast
+// `horizon` seconds ahead — chosen larger than the preparation delay, so
+// capacity lands before the ramp does. Proactive class of the
+// Qu/Calheiros/Buyya autoscaling taxonomy (arXiv:1609.09224).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/ntier_system.h"
+#include "conscale/agents.h"
+#include "conscale/controller.h"
+#include "conscale/zoo/zoo_params.h"
+#include "metrics/warehouse.h"
+#include "simcore/simulation.h"
+
+namespace conscale::zoo {
+
+class PredictiveController final : public Controller {
+ public:
+  PredictiveController(Simulation& sim, NTierSystem& system,
+                       const MetricsWarehouse& warehouse, HardwareAgent& hw,
+                       PredictiveControllerParams params);
+
+  ControllerCounters counters() const override;
+
+ private:
+  void step(SimTime now);
+
+  NTierSystem& system_;
+  const MetricsWarehouse& warehouse_;
+  HardwareAgent& hw_;
+  PredictiveControllerParams params_;
+  std::unique_ptr<PeriodicTask> step_task_;
+  // Holt state over the 1 s completion-rate series, updated once per period.
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  bool primed_ = false;
+  std::vector<SimTime> cooldown_until_;  ///< by tier index
+  std::uint64_t forecasts_ = 0;
+  std::uint64_t scale_outs_ = 0;
+  std::uint64_t scale_ins_ = 0;
+};
+
+}  // namespace conscale::zoo

@@ -8,11 +8,20 @@
 
 namespace conscale {
 
-void export_run_json(std::ostream& out, const ScalingRunResult& result) {
+void export_run_json(std::ostream& out, const ScalingRunResult& result,
+                     const JsonExportOptions& options) {
   JsonWriter json(out);
   json.begin_object();
   json.key("framework").value(result.framework_name);
   json.key("trace").value(result.trace_name);
+  if (options.include_counters) {
+    json.key("controller").value(result.framework_key);
+    json.key("counters").begin_object();
+    for (const auto& [name, count] : result.controller_counters) {
+      json.key(name).value(count);
+    }
+    json.end_object();
+  }
 
   json.key("summary").begin_object();
   json.key("mean_rt_ms").value(result.mean_rt_ms);
@@ -108,11 +117,11 @@ void export_run_json(std::ostream& out, const ScalingRunResult& result) {
   json.end_object();
 }
 
-void export_run_json(const std::string& path,
-                     const ScalingRunResult& result) {
+void export_run_json(const std::string& path, const ScalingRunResult& result,
+                     const JsonExportOptions& options) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("export_run_json: cannot open " + path);
-  export_run_json(out, result);
+  export_run_json(out, result, options);
   out << '\n';
 }
 

@@ -9,12 +9,21 @@
 
 namespace conscale {
 
+struct JsonExportOptions {
+  /// Adds "controller" (the registry key) and "counters" (the controller's
+  /// generic diagnostic counter map) to the object. Off by default so the
+  /// JSON of every pre-existing bench stays byte-identical.
+  bool include_counters = false;
+};
+
 /// Writes the full run — summary percentiles, 1 s system/tier series, and
 /// the scaling-event log — as one JSON object.
-void export_run_json(std::ostream& out, const ScalingRunResult& result);
+void export_run_json(std::ostream& out, const ScalingRunResult& result,
+                     const JsonExportOptions& options = {});
 
 /// Convenience: write to a file; throws std::runtime_error on I/O failure.
-void export_run_json(const std::string& path, const ScalingRunResult& result);
+void export_run_json(const std::string& path, const ScalingRunResult& result,
+                     const JsonExportOptions& options = {});
 
 /// Writes a scatter run (raw 50 ms samples + the SCT estimate) as JSON.
 void export_scatter_json(std::ostream& out, const ScatterRunResult& result);

@@ -57,10 +57,16 @@ void parallel_for(std::size_t n, std::size_t jobs,
 
 ScalingRunResult RunSet::run_one(const RunSpec& spec) {
   ScalingRunOptions options = spec.options;
-  options.context.set_label(spec.label.empty()
-                                ? to_string(spec.framework) + "/" +
-                                      to_string(spec.trace)
-                                : spec.label);
+  std::string label = spec.label;
+  if (label.empty()) {
+    // Derive from the registry display name so builtin labels keep their
+    // historical spelling ("ConScale/LARGE_VARIATIONS"). Validates the
+    // reference before the run starts — unknown names abort loudly here.
+    const ControllerRef ref = parse_controller_ref(spec.framework);
+    label = ControllerRegistry::global().at(ref.name).display_name + "/" +
+            to_string(spec.trace);
+  }
+  options.context.set_label(label);
   return run_scaling(spec.params, spec.trace, spec.framework, options);
 }
 
@@ -122,7 +128,10 @@ bool results_equivalent(const ScalingRunResult& a, const ScalingRunResult& b,
                         std::string* diff) {
   if (a.framework_name != b.framework_name)
     return fail(diff, "framework_name");
+  if (a.framework_key != b.framework_key) return fail(diff, "framework_key");
   if (a.trace_name != b.trace_name) return fail(diff, "trace_name");
+  if (a.controller_counters != b.controller_counters)
+    return fail(diff, "controller_counters");
 
   if (a.system.size() != b.system.size())
     return fail(diff, "system series length");

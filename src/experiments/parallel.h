@@ -51,11 +51,12 @@ std::vector<T> parallel_map(std::size_t n, std::size_t jobs,
 
 /// One cell of the evaluation grid: everything run_scaling needs.
 struct RunSpec {
-  /// Log label for the run; empty derives "<framework>/<trace>".
+  /// Log label for the run; empty derives "<framework display name>/<trace>".
   std::string label;
   ScenarioParams params;
   TraceKind trace = TraceKind::kLargeVariations;
-  FrameworkKind framework = FrameworkKind::kConScale;
+  /// Controller-registry reference ("ec2", "conscale", "pi(kp=20)", ...).
+  std::string framework = "conscale";
   ScalingRunOptions options;
 };
 

@@ -220,4 +220,16 @@ void dump_fault_windows_csv(const std::string& path,
   }
 }
 
+void dump_counters_csv(const std::string& path,
+                       const std::vector<ScalingRunResult>& results) {
+  CsvWriter csv(path);
+  csv.header({"controller", "trace", "counter", "value"});
+  for (const auto& result : results) {
+    for (const auto& [counter, value] : result.controller_counters) {
+      csv.raw_row({result.framework_key, result.trace_name, counter,
+                   std::to_string(value)});
+    }
+  }
+}
+
 }  // namespace conscale

@@ -50,5 +50,10 @@ void dump_scatter_csv(const std::string& path, const ScatterRunResult& result);
 /// had no faults.
 void dump_fault_windows_csv(const std::string& path,
                             const ScalingRunResult& result);
+/// One row per controller counter per run (controller, trace, counter,
+/// value) — the generic dump of each run's ControllerCounters map, in map
+/// (= alphabetical) order within a run.
+void dump_counters_csv(const std::string& path,
+                       const std::vector<ScalingRunResult>& results);
 
 }  // namespace conscale

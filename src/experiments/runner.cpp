@@ -26,7 +26,7 @@ FrameworkConfig make_framework_config(const ScenarioParams& params) {
 }
 
 ScalingRunResult run_scaling(const ScenarioParams& params, TraceKind kind,
-                             FrameworkKind framework,
+                             const std::string& framework,
                              const ScalingRunOptions& options) {
   TraceParams tp;
   tp.duration = options.duration;
@@ -37,7 +37,8 @@ ScalingRunResult run_scaling(const ScenarioParams& params, TraceKind kind,
 }
 
 ScalingRunResult run_scaling(const ScenarioParams& params,
-                             const WorkloadTrace& trace, FrameworkKind kind,
+                             const WorkloadTrace& trace,
+                             const std::string& framework_ref,
                              const ScalingRunOptions& options) {
   Simulation sim;
   RequestMix mix = params.make_mix();
@@ -58,7 +59,8 @@ ScalingRunResult run_scaling(const ScenarioParams& params,
   FrameworkConfig config = options.framework_config
                                ? *options.framework_config
                                : make_framework_config(params);
-  ScalingFramework framework(sim, system, *warehouse, kind, config, ctx);
+  ScalingFramework framework(sim, system, *warehouse, framework_ref, config,
+                             ctx);
 
   auto submit_fn = [&system](const RequestContext& request,
                              std::function<void()> done) {
@@ -103,7 +105,9 @@ ScalingRunResult run_scaling(const ScenarioParams& params,
 
   ScalingRunResult result;
   result.framework_name = framework.name();
+  result.framework_key = framework.key();
   result.trace_name = trace.name();
+  result.controller_counters = framework.controller().counters();
   result.system = warehouse->system_series();
   for (std::size_t i = 0; i < system.tier_count(); ++i) {
     const std::string& name = system.tier(i).name();

@@ -57,8 +57,13 @@ struct ScalingRunOptions {
 };
 
 struct ScalingRunResult {
-  std::string framework_name;
+  std::string framework_name;  ///< display name ("ConScale")
+  std::string framework_key;   ///< registry key ("conscale")
   std::string trace_name;
+  /// The controller's diagnostic counter map (generic: whatever the plug-in
+  /// reports — DecisionController's scale_outs/scale_ins/adapts/stale_skips,
+  /// the zoo controllers' own keys).
+  ControllerCounters controller_counters;
   // End-to-end timelines (1 s), straight from the warehouse.
   std::vector<SystemSample> system;
   std::map<std::string, std::vector<TierSample>> tiers;
@@ -97,16 +102,20 @@ struct ScalingRunResult {
 
 /// Default framework config for a scenario: adapts the app-tier thread pool
 /// and the app->db connection pool; DCM profile must be supplied by the
-/// caller when kind == kDcm (see train_dcm_profile).
+/// caller when running "dcm" (see train_dcm_profile).
 FrameworkConfig make_framework_config(const ScenarioParams& params);
 
+/// `framework` is a controller-registry reference — "ec2", "conscale",
+/// "pi(target_ms=250)", ... (see conscale/registry.h). Unknown names abort
+/// with the registered list.
 ScalingRunResult run_scaling(const ScenarioParams& params,
-                             const WorkloadTrace& trace, FrameworkKind kind,
+                             const WorkloadTrace& trace,
+                             const std::string& framework,
                              const ScalingRunOptions& options = {});
 
 /// Convenience: build the trace from a kind with the scenario's user scale.
 ScalingRunResult run_scaling(const ScenarioParams& params, TraceKind trace,
-                             FrameworkKind kind,
+                             const std::string& framework,
                              const ScalingRunOptions& options = {});
 
 // ---------------------------------------------------------------------------

@@ -16,43 +16,74 @@ FrameworkConfig basic_config() {
   return config;
 }
 
-TEST(FrameworkKindNames, ToString) {
-  EXPECT_EQ(to_string(FrameworkKind::kEc2AutoScaling), "EC2-AutoScaling");
-  EXPECT_EQ(to_string(FrameworkKind::kDcm), "DCM");
-  EXPECT_EQ(to_string(FrameworkKind::kConScale), "ConScale");
+TEST(BuiltinControllers, HistoricalDisplayNamesPreserved) {
+  const ControllerRegistry& registry = ControllerRegistry::global();
+  EXPECT_EQ(registry.at("ec2").display_name, "EC2-AutoScaling");
+  EXPECT_EQ(registry.at("dcm").display_name, "DCM");
+  EXPECT_EQ(registry.at("conscale").display_name, "ConScale");
 }
 
 TEST(ScalingFramework, Ec2HasNoEstimatorService) {
   Harness h;
-  ScalingFramework framework(h.sim, h.system, *h.warehouse,
-                             FrameworkKind::kEc2AutoScaling, basic_config());
+  ScalingFramework framework(h.sim, h.system, *h.warehouse, "ec2",
+                             basic_config());
   EXPECT_EQ(framework.estimator_service(), nullptr);
   EXPECT_EQ(framework.name(), "EC2-AutoScaling");
-  EXPECT_EQ(framework.kind(), FrameworkKind::kEc2AutoScaling);
+  EXPECT_EQ(framework.key(), "ec2");
 }
 
 TEST(ScalingFramework, DcmHasNoEstimatorService) {
   Harness h;
   FrameworkConfig config = basic_config();
   config.dcm_profile.tier_optimal_concurrency[kAppTier] = 20;
-  ScalingFramework framework(h.sim, h.system, *h.warehouse,
-                             FrameworkKind::kDcm, config);
+  ScalingFramework framework(h.sim, h.system, *h.warehouse, "dcm", config);
   EXPECT_EQ(framework.estimator_service(), nullptr);
   EXPECT_EQ(framework.name(), "DCM");
 }
 
 TEST(ScalingFramework, ConScaleHasEstimatorService) {
   Harness h;
-  ScalingFramework framework(h.sim, h.system, *h.warehouse,
-                             FrameworkKind::kConScale, basic_config());
+  ScalingFramework framework(h.sim, h.system, *h.warehouse, "conscale",
+                             basic_config());
   EXPECT_NE(framework.estimator_service(), nullptr);
   EXPECT_EQ(framework.name(), "ConScale");
 }
 
+TEST(ScalingFramework, UnknownControllerAbortsWithRegisteredList) {
+  Harness h;
+  try {
+    ScalingFramework framework(h.sim, h.system, *h.warehouse, "conscael",
+                               basic_config());
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("unknown controller 'conscael'"),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find("conscale"), std::string::npos) << message;
+    EXPECT_NE(message.find("ec2"), std::string::npos) << message;
+  }
+}
+
+TEST(ScalingFramework, ReferenceOptionsReachTheConfig) {
+  // "conscale(headroom=...)" must flow through the configure hook; an
+  // option on a controller without one must abort.
+  Harness h;
+  ScalingFramework ok(h.sim, h.system, *h.warehouse,
+                      "conscale(headroom=1.25)", basic_config());
+  EXPECT_EQ(ok.key(), "conscale");
+  EXPECT_THROW(ScalingFramework(h.sim, h.system, *h.warehouse,
+                                "conscale(hedroom=1.25)", basic_config()),
+               std::runtime_error);
+  EXPECT_THROW(ScalingFramework(h.sim, h.system, *h.warehouse, "ec2(x=1)",
+                                basic_config()),
+               std::runtime_error);
+}
+
 TEST(ScalingFramework, AllEventsMergedAndSorted) {
   Harness h;
-  ScalingFramework framework(h.sim, h.system, *h.warehouse,
-                             FrameworkKind::kConScale, basic_config());
+  ScalingFramework framework(h.sim, h.system, *h.warehouse, "conscale",
+                             basic_config());
   h.sim.run_until(0.1);
   // Interleave hardware and soft actions.
   framework.software_agent().set_tier_threads(kAppTier, 30);
@@ -69,11 +100,12 @@ TEST(ScalingFramework, AllEventsMergedAndSorted) {
 TEST(ScalingFramework, RunsQuietlyWithoutLoad) {
   // A framework on an idle system must not scale or crash.
   Harness h;
-  ScalingFramework framework(h.sim, h.system, *h.warehouse,
-                             FrameworkKind::kConScale, basic_config());
+  ScalingFramework framework(h.sim, h.system, *h.warehouse, "conscale",
+                             basic_config());
   h.sim.run_until(60.0);
-  EXPECT_EQ(framework.controller().scale_out_count(), 0u);
-  EXPECT_EQ(framework.controller().scale_in_count(), 0u);
+  const ControllerCounters counters = framework.controller().counters();
+  EXPECT_EQ(counters.at("scale_outs"), 0u);
+  EXPECT_EQ(counters.at("scale_ins"), 0u);
   EXPECT_EQ(h.system.total_billed_vms(), 3u);
 }
 

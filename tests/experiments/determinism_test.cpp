@@ -7,7 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
+
+#include "experiments/json_export.h"
+#include "experiments/report.h"
 
 namespace conscale {
 namespace {
@@ -23,7 +29,7 @@ RunSpec quick_spec() {
   RunSpec spec;
   spec.params = quick_params();
   spec.trace = TraceKind::kBigSpike;
-  spec.framework = FrameworkKind::kConScale;
+  spec.framework = "conscale";
   spec.options.duration = 60.0;
   return spec;
 }
@@ -59,7 +65,7 @@ TEST(Determinism, ParallelRunSetMatchesSerial) {
 TEST(Determinism, MixedSpecsKeepSpecOrder) {
   RunSpec a = quick_spec();
   RunSpec b = quick_spec();
-  b.framework = FrameworkKind::kEc2AutoScaling;
+  b.framework = "ec2";
   RunSpec c = quick_spec();
   c.trace = TraceKind::kDualPhase;
 
@@ -74,6 +80,43 @@ TEST(Determinism, MixedSpecsKeepSpecOrder) {
   EXPECT_EQ(results[0].framework_name, "ConScale");
   EXPECT_EQ(results[1].framework_name, "EC2-AutoScaling");
   EXPECT_EQ(results[2].trace_name, "dual_phase");
+}
+
+TEST(Determinism, RefactoredConScaleArtifactsAreByteIdentical) {
+  // The registry refactor must not move a byte of the report artifacts:
+  // the flagship "conscale" run is rendered to CSV and JSON once from a
+  // serial run and once from a jobs=4 fan-out, and the files must compare
+  // equal byte for byte.
+  const RunSpec spec = quick_spec();
+  const ScalingRunResult serial = RunSet::run_one(spec);
+  RunSetOptions options;
+  options.jobs = 4;
+  const std::vector<ScalingRunResult> results =
+      RunSet(options).run(std::vector<RunSpec>(4, spec));
+  ASSERT_EQ(results.size(), 4u);
+
+  const auto render = [](const std::string& stem, const ScalingRunResult& r) {
+    const std::string base = ::testing::TempDir() + "/" + stem;
+    dump_system_csv(base + ".csv", r);
+    JsonExportOptions json_options;
+    json_options.include_counters = true;
+    export_run_json(base + ".json", r, json_options);
+    std::string bytes;
+    for (const char* ext : {".csv", ".json"}) {
+      std::ifstream in(base + ext, std::ios::binary);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      bytes += buffer.str();
+      std::remove((base + ext).c_str());
+    }
+    return bytes;
+  };
+  const std::string baseline = render("det_serial", serial);
+  ASSERT_FALSE(baseline.empty());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(render("det_par_" + std::to_string(i), results[i]), baseline)
+        << "jobs=4 copy " << i << " rendered different bytes";
+  }
 }
 
 TEST(Determinism, ResultsEquivalentFlagsDifferences) {

@@ -17,7 +17,7 @@ TEST(RunScaling, PopulatesAllResultFields) {
   options.duration = 60.0;
   const ScalingRunResult result =
       run_scaling(quick_params(), TraceKind::kDualPhase,
-                  FrameworkKind::kEc2AutoScaling, options);
+                  "ec2", options);
   EXPECT_EQ(result.framework_name, "EC2-AutoScaling");
   EXPECT_EQ(result.trace_name, "dual_phase");
   EXPECT_FALSE(result.system.empty());
@@ -33,7 +33,7 @@ TEST(RunScaling, SystemSeriesCoversDuration) {
   options.duration = 45.0;
   const ScalingRunResult result =
       run_scaling(quick_params(), TraceKind::kSlowlyVarying,
-                  FrameworkKind::kEc2AutoScaling, options);
+                  "ec2", options);
   // One 1 s sample per second (within rounding at the edges).
   EXPECT_NEAR(static_cast<double>(result.system.size()), 45.0, 2.0);
 }
@@ -43,12 +43,12 @@ TEST(RunScaling, RuntimeDatasetScaleChangesServiceTimes) {
   heavy.duration = 60.0;
   heavy.runtime_dataset_scale = 3.0;
   const auto big = run_scaling(quick_params(), TraceKind::kSlowlyVarying,
-                               FrameworkKind::kEc2AutoScaling, heavy);
+                               "ec2", heavy);
   ScalingRunOptions light;
   light.duration = 60.0;
   light.runtime_dataset_scale = 0.5;
   const auto small = run_scaling(quick_params(), TraceKind::kSlowlyVarying,
-                                 FrameworkKind::kEc2AutoScaling, light);
+                                 "ec2", light);
   // A 6x heavier app tier must show clearly higher median latency.
   EXPECT_GT(big.p50_ms, small.p50_ms);
 }
@@ -59,13 +59,13 @@ TEST(RunScaling, SessionWorkloadDrivesTheSystem) {
   options.session_workload = true;
   const ScalingRunResult result =
       run_scaling(quick_params(), TraceKind::kBigSpike,
-                  FrameworkKind::kConScale, options);
+                  "conscale", options);
   EXPECT_GT(result.requests_completed, 100u);
   EXPECT_GT(result.p99_ms, 0.0);
   // Deterministic like the i.i.d. path.
   const ScalingRunResult again =
       run_scaling(quick_params(), TraceKind::kBigSpike,
-                  FrameworkKind::kConScale, options);
+                  "conscale", options);
   EXPECT_EQ(result.requests_completed, again.requests_completed);
 }
 

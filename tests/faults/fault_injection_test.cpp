@@ -280,9 +280,9 @@ TEST(FaultRuns, EmptyPlanMatchesFaultFreeRunExactly) {
   ScalingRunOptions with_empty_plan = plain;
   with_empty_plan.faults = FaultPlan::parse("# no events\n");
   const auto a = run_scaling(quick_params(), TraceKind::kDualPhase,
-                             FrameworkKind::kConScale, plain);
+                             "conscale", plain);
   const auto b = run_scaling(quick_params(), TraceKind::kDualPhase,
-                             FrameworkKind::kConScale, with_empty_plan);
+                             "conscale", with_empty_plan);
   std::string diff;
   EXPECT_TRUE(results_equivalent(a, b, &diff)) << diff;
   EXPECT_TRUE(b.fault_plan_text.empty());
@@ -295,7 +295,7 @@ TEST(FaultRuns, CrashRunPopulatesFaultOutcome) {
   options.faults =
       FaultPlan::parse("crash t=20 tier=app vm=0 restart=10");
   const auto result = run_scaling(quick_params(), TraceKind::kDualPhase,
-                                  FrameworkKind::kConScale, options);
+                                  "conscale", options);
   EXPECT_EQ(result.fault_stats.crashes_injected, 1u);
   EXPECT_FALSE(result.fault_plan_text.empty());
   ASSERT_EQ(result.fault_windows.size(), 1u);
@@ -309,7 +309,7 @@ TEST(FaultRuns, DropoutRunCountsDroppedSamples) {
   options.duration = 60.0;
   options.faults = FaultPlan::parse("drop t=20 dur=10");
   const auto result = run_scaling(quick_params(), TraceKind::kDualPhase,
-                                  FrameworkKind::kConScale, options);
+                                  "conscale", options);
   EXPECT_EQ(result.fault_stats.dropout_windows, 1u);
   EXPECT_GT(result.dropped_samples, 0u);
 }
@@ -318,7 +318,7 @@ TEST(FaultRuns, FaultedRunsAreDeterministicUnderParallelFanOut) {
   RunSpec spec;
   spec.params = quick_params();
   spec.trace = TraceKind::kBigSpike;
-  spec.framework = FrameworkKind::kConScale;
+  spec.framework = "conscale";
   spec.options.duration = 45.0;
   spec.options.faults = FaultPlan::parse(
       "crash t=15 tier=app vm=0 restart=8\n"

@@ -52,9 +52,9 @@ TEST(Properties, DeterministicScalingRuns) {
   ScalingRunOptions options;
   options.duration = 120.0;
   const auto a = run_scaling(fast_params(33), TraceKind::kBigSpike,
-                             FrameworkKind::kConScale, options);
+                             "conscale", options);
   const auto b = run_scaling(fast_params(33), TraceKind::kBigSpike,
-                             FrameworkKind::kConScale, options);
+                             "conscale", options);
   EXPECT_EQ(a.requests_completed, b.requests_completed);
   EXPECT_DOUBLE_EQ(a.p99_ms, b.p99_ms);
   ASSERT_EQ(a.events.size(), b.events.size());
@@ -68,9 +68,9 @@ TEST(Properties, DifferentSeedsDiverge) {
   ScalingRunOptions options;
   options.duration = 120.0;
   const auto a = run_scaling(fast_params(1), TraceKind::kBigSpike,
-                             FrameworkKind::kEc2AutoScaling, options);
+                             "ec2", options);
   const auto b = run_scaling(fast_params(2), TraceKind::kBigSpike,
-                             FrameworkKind::kEc2AutoScaling, options);
+                             "ec2", options);
   EXPECT_NE(a.requests_completed, b.requests_completed);
 }
 
@@ -107,7 +107,7 @@ TEST(Properties, SystemTimeSeriesMonotone) {
   ScalingRunOptions options;
   options.duration = 100.0;
   const auto result = run_scaling(fast_params(5), TraceKind::kDualPhase,
-                                  FrameworkKind::kEc2AutoScaling, options);
+                                  "ec2", options);
   SimTime last = -1.0;
   for (const auto& s : result.system) {
     EXPECT_GT(s.t, last);
@@ -123,7 +123,7 @@ TEST(Properties, TierCpuUtilizationBounded) {
   ScalingRunOptions options;
   options.duration = 100.0;
   const auto result = run_scaling(fast_params(6), TraceKind::kSlowlyVarying,
-                                  FrameworkKind::kConScale, options);
+                                  "conscale", options);
   for (const auto& [tier, series] : result.tiers) {
     for (const auto& s : series) {
       EXPECT_GE(s.avg_cpu_utilization, 0.0) << tier;
@@ -138,7 +138,7 @@ TEST(Properties, PercentilesAreOrdered) {
   ScalingRunOptions options;
   options.duration = 150.0;
   const auto result = run_scaling(fast_params(7), TraceKind::kQuicklyVarying,
-                                  FrameworkKind::kConScale, options);
+                                  "conscale", options);
   EXPECT_LE(result.p50_ms, result.p95_ms);
   EXPECT_LE(result.p95_ms, result.p99_ms);
   EXPECT_LE(result.p99_ms, result.max_rt_ms + 1e-9);

@@ -189,9 +189,9 @@ TEST(ScalingIntegration, ConScaleBeatsEc2OnTailLatency) {
   ScalingRunOptions options;
   options.duration = 400.0;  // the first two crests are enough
   const auto ec2 = run_scaling(params, TraceKind::kLargeVariations,
-                               FrameworkKind::kEc2AutoScaling, options);
+                               "ec2", options);
   const auto con = run_scaling(params, TraceKind::kLargeVariations,
-                               FrameworkKind::kConScale, options);
+                               "conscale", options);
   EXPECT_LT(con.p99_ms, 0.7 * ec2.p99_ms)
       << "EC2 p99=" << ec2.p99_ms << "ms ConScale p99=" << con.p99_ms << "ms";
   EXPECT_GE(con.requests_completed, ec2.requests_completed * 95 / 100);
@@ -207,7 +207,7 @@ TEST(ScalingIntegration, BothFrameworksScaleHardwareIdentically) {
   ScalingRunOptions options;
   options.duration = 200.0;
   const auto ec2 = run_scaling(params, TraceKind::kBigSpike,
-                               FrameworkKind::kEc2AutoScaling, options);
+                               "ec2", options);
   int ec2_hw = 0;
   for (const auto& e : ec2.events) {
     ec2_hw += (e.action == "scale-out" || e.action == "scale-in") ? 1 : 0;
@@ -225,7 +225,7 @@ TEST(ScalingIntegration, ConScaleAdaptsSoftResources) {
   ScalingRunOptions options;
   options.duration = 400.0;
   const auto con = run_scaling(params, TraceKind::kLargeVariations,
-                               FrameworkKind::kConScale, options);
+                               "conscale", options);
   bool adapted = false;
   for (const auto& e : con.events) {
     adapted |= e.action == "threads" || e.action == "dbconn";
@@ -252,12 +252,12 @@ TEST(ScalingIntegration, DcmWithStaleProfileUnderperformsConScale) {
   config.dcm_profile = profile;
   dcm_options.framework_config = config;
   const auto dcm = run_scaling(params, TraceKind::kLargeVariations,
-                               FrameworkKind::kDcm, dcm_options);
+                               "dcm", dcm_options);
 
   ScalingRunOptions con_options = dcm_options;
   con_options.framework_config = make_framework_config(params);
   const auto con = run_scaling(params, TraceKind::kLargeVariations,
-                               FrameworkKind::kConScale, con_options);
+                               "conscale", con_options);
   // At this compressed scale the headline latency gap of Fig 11 is noise-
   // level; the bench (bench_fig11_dcm_vs_conscale, native scale) checks the
   // magnitude. Here we assert the *mechanism*: ConScale must not be
