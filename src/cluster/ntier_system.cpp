@@ -47,38 +47,6 @@ void NTierSystem::submit(const RequestContext& ctx,
   tiers_.front()->lb().dispatch(ctx, std::move(done));
 }
 
-TierGroup& NTierSystem::tier_by_name(const std::string& name) {
-  for (auto& t : tiers_) {
-    if (t->name() == name) return *t;
-  }
-  throw std::out_of_range("NTierSystem: no tier named " + name);
-}
-
-std::size_t NTierSystem::tier_index_by_name(const std::string& name) const {
-  for (std::size_t i = 0; i < tiers_.size(); ++i) {
-    if (tiers_[i]->name() == name) return i;
-  }
-  return tiers_.size();
-}
-
-std::uint64_t NTierSystem::total_crashes() const {
-  std::uint64_t total = 0;
-  for (const auto& t : tiers_) total += t->total_crashes();
-  return total;
-}
-
-std::uint64_t NTierSystem::total_aborted_requests() const {
-  std::uint64_t total = 0;
-  for (const auto& t : tiers_) total += t->total_aborted_requests();
-  return total;
-}
-
-std::size_t NTierSystem::total_billed_vms() const {
-  std::size_t total = 0;
-  for (const auto& t : tiers_) total += t->billed_vms();
-  return total;
-}
-
 void NTierSystem::add_vm_ready_callback(VmReadyCallback callback) {
   on_vm_ready_.push_back(std::move(callback));
 }

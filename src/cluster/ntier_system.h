@@ -2,7 +2,9 @@
 // (web -> app -> db in the RUBBoS default, deeper chains allowed) with
 // synchronous RPC wiring between adjacent tiers. This is the system under
 // test for every experiment: clients call submit(), scaling frameworks
-// manipulate the tiers.
+// manipulate the tiers through the TierSystem interface. The linear chain
+// is the trivial service graph (see src/topology/service_graph.h for the
+// DAG generalization).
 #pragma once
 
 #include <functional>
@@ -11,6 +13,7 @@
 #include <vector>
 
 #include "cluster/tier_group.h"
+#include "cluster/tier_system.h"
 #include "common/run_context.h"
 #include "simcore/simulation.h"
 #include "workload/request.h"
@@ -24,38 +27,26 @@ struct SystemConfig {
   std::vector<std::size_t> initial_vms;
 };
 
-class NTierSystem {
+class NTierSystem final : public TierSystem {
  public:
-  /// (tier index, vm) — fired whenever any tier brings a VM online.
-  using VmReadyCallback = std::function<void(std::size_t, Vm&)>;
-
   /// `context` (optional) scopes every tier's and VM's log output to the
   /// owning run (see common/run_context.h); pass the run's context when
   /// several systems share the process. It must outlive the system.
   NTierSystem(Simulation& sim, SystemConfig config,
               const RunContext* context = nullptr);
 
-  const RunContext& context() const { return *ctx_; }
+  const RunContext& context() const override { return *ctx_; }
 
   /// Client entry point: dispatch into the front tier.
   void submit(const RequestContext& ctx, std::function<void()> done);
 
-  std::size_t tier_count() const { return tiers_.size(); }
-  TierGroup& tier(std::size_t index) { return *tiers_[index]; }
-  const TierGroup& tier(std::size_t index) const { return *tiers_[index]; }
-  /// Finds a tier by name; throws std::out_of_range if absent.
-  TierGroup& tier_by_name(const std::string& name);
-  /// Resolves a tier name to its index; returns tier_count() if absent
-  /// (fault plans use this for validation without exceptions).
-  std::size_t tier_index_by_name(const std::string& name) const;
+  std::size_t tier_count() const override { return tiers_.size(); }
+  TierGroup& tier(std::size_t index) override { return *tiers_[index]; }
+  const TierGroup& tier(std::size_t index) const override {
+    return *tiers_[index];
+  }
 
-  std::size_t total_billed_vms() const;
-  /// Fault-injection totals across all tiers (zero in fault-free runs).
-  std::uint64_t total_crashes() const;
-  std::uint64_t total_aborted_requests() const;
-
-  /// Multiple subscribers are supported (metrics, scaling policies, ...).
-  void add_vm_ready_callback(VmReadyCallback callback);
+  void add_vm_ready_callback(VmReadyCallback callback) override;
 
  private:
   Simulation& sim_;

@@ -1,0 +1,45 @@
+#include "cluster/tier_system.h"
+
+#include <stdexcept>
+
+namespace conscale {
+
+TierGroup& TierSystem::tier_by_name(const std::string& name) {
+  for (std::size_t i = 0; i < tier_count(); ++i) {
+    if (tier(i).name() == name) return tier(i);
+  }
+  throw std::out_of_range("TierSystem: no tier named " + name);
+}
+
+std::size_t TierSystem::tier_index_by_name(const std::string& name) const {
+  for (std::size_t i = 0; i < tier_count(); ++i) {
+    if (tier(i).name() == name) return i;
+  }
+  return tier_count();
+}
+
+std::uint64_t TierSystem::total_crashes() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < tier_count(); ++i) {
+    total += tier(i).total_crashes();
+  }
+  return total;
+}
+
+std::uint64_t TierSystem::total_aborted_requests() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < tier_count(); ++i) {
+    total += tier(i).total_aborted_requests();
+  }
+  return total;
+}
+
+std::size_t TierSystem::total_billed_vms() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < tier_count(); ++i) {
+    total += tier(i).billed_vms();
+  }
+  return total;
+}
+
+}  // namespace conscale

@@ -2,7 +2,7 @@
 
 namespace conscale {
 
-HardwareAgent::HardwareAgent(Simulation& sim, NTierSystem& system,
+HardwareAgent::HardwareAgent(Simulation& sim, TierSystem& system,
                              const RunContext* context)
     : sim_(sim), system_(system),
       ctx_(context ? context : &RunContext::global()) {}
@@ -40,7 +40,7 @@ bool HardwareAgent::set_tier_cpu_entitlement(std::size_t tier_index,
   return true;
 }
 
-SoftwareAgent::SoftwareAgent(Simulation& sim, NTierSystem& system,
+SoftwareAgent::SoftwareAgent(Simulation& sim, TierSystem& system,
                              const RunContext* context)
     : sim_(sim), system_(system),
       ctx_(context ? context : &RunContext::global()) {}

@@ -10,7 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "cluster/ntier_system.h"
+#include "cluster/tier_system.h"
 #include "common/run_context.h"
 #include "simcore/simulation.h"
 
@@ -25,7 +25,7 @@ struct ScalingEvent {
 
 class HardwareAgent {
  public:
-  HardwareAgent(Simulation& sim, NTierSystem& system,
+  HardwareAgent(Simulation& sim, TierSystem& system,
                 const RunContext* context = nullptr);
 
   /// Returns true if the scale-out was initiated (VM begins provisioning).
@@ -46,7 +46,7 @@ class HardwareAgent {
 
  private:
   Simulation& sim_;
-  NTierSystem& system_;
+  TierSystem& system_;
   const RunContext* ctx_;
   std::vector<ScalingEvent> events_;
 };
@@ -57,7 +57,7 @@ class SoftwareAgent {
     SimDuration actuation_delay = 0.1;  ///< JMX round-trip + pool adjustment
   };
 
-  SoftwareAgent(Simulation& sim, NTierSystem& system,
+  SoftwareAgent(Simulation& sim, TierSystem& system,
                 const RunContext* context = nullptr);
 
   /// Sets every server in the tier's worker thread pool to `size`.
@@ -70,7 +70,7 @@ class SoftwareAgent {
 
  private:
   Simulation& sim_;
-  NTierSystem& system_;
+  TierSystem& system_;
   const RunContext* ctx_;
   Params params_;
   std::vector<ScalingEvent> events_;

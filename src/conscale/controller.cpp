@@ -4,7 +4,7 @@
 
 namespace conscale {
 
-DecisionController::DecisionController(Simulation& sim, NTierSystem& system,
+DecisionController::DecisionController(Simulation& sim, TierSystem& system,
                                        const MetricsWarehouse& warehouse,
                                        HardwareAgent& hw, SoftwareAgent& sw,
                                        SoftResourcePolicy& policy,

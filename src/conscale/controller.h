@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "cluster/ntier_system.h"
+#include "cluster/tier_system.h"
 #include "conscale/agents.h"
 #include "conscale/policy.h"
 #include "conscale/threshold_rule.h"
@@ -58,7 +58,7 @@ struct ControllerConfig {
 
 class DecisionController : public Controller {
  public:
-  DecisionController(Simulation& sim, NTierSystem& system,
+  DecisionController(Simulation& sim, TierSystem& system,
                      const MetricsWarehouse& warehouse, HardwareAgent& hw,
                      SoftwareAgent& sw, SoftResourcePolicy& policy,
                      ControllerConfig config);
@@ -75,7 +75,7 @@ class DecisionController : public Controller {
   void tick(SimTime now);
 
   Simulation& sim_;
-  NTierSystem& system_;
+  TierSystem& system_;
   const MetricsWarehouse& warehouse_;
   HardwareAgent& hw_;
   SoftwareAgent& sw_;

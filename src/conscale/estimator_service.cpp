@@ -7,7 +7,7 @@
 namespace conscale {
 
 ConcurrencyEstimatorService::ConcurrencyEstimatorService(
-    Simulation& sim, NTierSystem& system, const MetricsWarehouse& warehouse,
+    Simulation& sim, TierSystem& system, const MetricsWarehouse& warehouse,
     EstimatorServiceParams params, const RunContext* context)
     : sim_(sim), system_(system),
       ctx_(context ? context : &RunContext::global()), warehouse_(warehouse),

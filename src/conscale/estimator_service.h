@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "cluster/ntier_system.h"
+#include "cluster/tier_system.h"
 #include "common/run_context.h"
 #include "metrics/warehouse.h"
 #include "sct/estimator.h"
@@ -43,7 +43,7 @@ struct EstimatorServiceParams {
 
 class ConcurrencyEstimatorService {
  public:
-  ConcurrencyEstimatorService(Simulation& sim, NTierSystem& system,
+  ConcurrencyEstimatorService(Simulation& sim, TierSystem& system,
                               const MetricsWarehouse& warehouse,
                               EstimatorServiceParams params,
                               const RunContext* context = nullptr);
@@ -73,7 +73,7 @@ class ConcurrencyEstimatorService {
   void refresh(SimTime now);
 
   Simulation& sim_;
-  NTierSystem& system_;
+  TierSystem& system_;
   const RunContext* ctx_;
   const MetricsWarehouse& warehouse_;
   EstimatorServiceParams params_;

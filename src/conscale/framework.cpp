@@ -5,7 +5,7 @@
 
 namespace conscale {
 
-ScalingFramework::ScalingFramework(Simulation& sim, NTierSystem& system,
+ScalingFramework::ScalingFramework(Simulation& sim, TierSystem& system,
                                    MetricsWarehouse& warehouse,
                                    const std::string& controller_ref,
                                    FrameworkConfig config,

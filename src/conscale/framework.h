@@ -10,7 +10,7 @@
 #include <memory>
 #include <string>
 
-#include "cluster/ntier_system.h"
+#include "cluster/tier_system.h"
 #include "conscale/agents.h"
 #include "conscale/controller.h"
 #include "conscale/estimator_service.h"
@@ -45,7 +45,7 @@ class ScalingFramework {
   /// syntax, or invalid options. `context` (optional) scopes the
   /// framework's components' log output to the owning run; it must outlive
   /// the framework.
-  ScalingFramework(Simulation& sim, NTierSystem& system,
+  ScalingFramework(Simulation& sim, TierSystem& system,
                    MetricsWarehouse& warehouse,
                    const std::string& controller_ref, FrameworkConfig config,
                    const RunContext* context = nullptr);

@@ -6,7 +6,7 @@
 namespace conscale {
 
 void apply_optima(
-    NTierSystem& system, SoftwareAgent& agent, const SoftAdaptTargets& targets,
+    TierSystem& system, SoftwareAgent& agent, const SoftAdaptTargets& targets,
     const std::function<std::optional<int>(std::size_t)>& optimum_for_tier) {
   for (std::size_t tier : targets.thread_adapt_tiers) {
     if (auto optimum = optimum_for_tier(tier)) {

@@ -217,6 +217,20 @@ void OptionReader::get(const std::string& key, int& out) {
   out = parsed;
 }
 
+void OptionReader::get(const std::string& key, bool& out) {
+  bool found = false;
+  const std::string value = take(key, found);
+  if (!found) return;
+  if (value == "true" || value == "1") {
+    out = true;
+  } else if (value == "false" || value == "0") {
+    out = false;
+  } else {
+    throw std::runtime_error("controller '" + controller_ + "': option '" +
+                             key + "=" + value + "' is not a boolean");
+  }
+}
+
 void OptionReader::finish() const {
   if (remaining_.empty()) return;
   std::ostringstream message;

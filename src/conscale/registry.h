@@ -22,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "cluster/ntier_system.h"
+#include "cluster/tier_system.h"
 #include "common/run_context.h"
 #include "conscale/agents.h"
 #include "conscale/controller.h"
@@ -40,7 +40,7 @@ struct FrameworkConfig;  // conscale/framework.h
 /// guaranteed alive during the build call — copy what you keep.
 struct ControllerBuildContext {
   Simulation& sim;
-  NTierSystem& system;
+  TierSystem& system;
   MetricsWarehouse& warehouse;
   HardwareAgent& hw;
   SoftwareAgent& sw;
@@ -147,6 +147,8 @@ class OptionReader {
   /// otherwise) and throws std::runtime_error on an unparsable value.
   void get(const std::string& key, double& out);
   void get(const std::string& key, int& out);
+  /// Accepts "true"/"false"/"1"/"0".
+  void get(const std::string& key, bool& out);
 
   /// Throws std::runtime_error naming any option no get() consumed.
   void finish() const;

@@ -10,7 +10,7 @@ constexpr double kMinLevel = 1e-6;  ///< guards the growth-ratio division
 }
 
 PredictiveController::PredictiveController(Simulation& sim,
-                                           NTierSystem& system,
+                                           TierSystem& system,
                                            const MetricsWarehouse& warehouse,
                                            HardwareAgent& hw,
                                            PredictiveControllerParams params)

@@ -13,7 +13,7 @@
 #include <memory>
 #include <vector>
 
-#include "cluster/ntier_system.h"
+#include "cluster/tier_system.h"
 #include "conscale/agents.h"
 #include "conscale/controller.h"
 #include "conscale/zoo/zoo_params.h"
@@ -24,7 +24,7 @@ namespace conscale::zoo {
 
 class PredictiveController final : public Controller {
  public:
-  PredictiveController(Simulation& sim, NTierSystem& system,
+  PredictiveController(Simulation& sim, TierSystem& system,
                        const MetricsWarehouse& warehouse, HardwareAgent& hw,
                        PredictiveControllerParams params);
 
@@ -33,7 +33,7 @@ class PredictiveController final : public Controller {
  private:
   void step(SimTime now);
 
-  NTierSystem& system_;
+  TierSystem& system_;
   const MetricsWarehouse& warehouse_;
   HardwareAgent& hw_;
   PredictiveControllerParams params_;

@@ -10,7 +10,7 @@ namespace {
 
 /// Seeds the control variable from the live allocation so the first applied
 /// value continues the scenario's initial topology instead of jumping.
-double initial_allocation(NTierSystem& system, const SoftAdaptTargets& targets,
+double initial_allocation(TierSystem& system, const SoftAdaptTargets& targets,
                           int fallback) {
   if (!targets.thread_adapt_tiers.empty()) {
     const std::size_t pool =
@@ -32,7 +32,7 @@ std::optional<SystemSample> latest_rt_sample(
   return sample;
 }
 
-void apply_allocation(NTierSystem& system, SoftwareAgent& agent,
+void apply_allocation(TierSystem& system, SoftwareAgent& agent,
                       const SoftAdaptTargets& targets, double allocation) {
   const int threads = static_cast<int>(std::lround(allocation));
   apply_optima(system, agent, targets,
@@ -43,7 +43,7 @@ void apply_allocation(NTierSystem& system, SoftwareAgent& agent,
 
 }  // namespace
 
-PiResponseTimePolicy::PiResponseTimePolicy(NTierSystem& system,
+PiResponseTimePolicy::PiResponseTimePolicy(TierSystem& system,
                                            SoftwareAgent& agent,
                                            const MetricsWarehouse& warehouse,
                                            SoftAdaptTargets targets,
@@ -63,7 +63,27 @@ void PiResponseTimePolicy::adapt(SimTime) {
     prev_error_ = error;
     primed_ = true;
   }
-  allocation_ += params_.kp * (error - prev_error_) + params_.ki * error;
+  double integral = params_.ki * error;
+  if (params_.conditional_integration) {
+    // Conditional integration (ROADMAP zoo follow-up (a)): drop the ki term
+    // when it can only wind up —
+    //  * the allocation is pinned at a clamp and the error pushes further
+    //    into it (the controller would bank a debt it must unwind before it
+    //    can react to the next excursion);
+    //  * RT is over target while an adapted tier is still provisioning VMs:
+    //    the excursion reflects hardware that has not arrived yet, not
+    //    excess concurrency — integrating it shrinks the pools exactly when
+    //    the tier needs them open and keeps them pinned after the VMs land.
+    const bool at_min =
+        error < 0.0 &&
+        allocation_ <= static_cast<double>(params_.min_threads);
+    const bool at_max =
+        error > 0.0 &&
+        allocation_ >= static_cast<double>(params_.max_threads);
+    const bool actuator_lag = error < 0.0 && targets_provisioning();
+    if (at_min || at_max || actuator_lag) integral = 0.0;
+  }
+  allocation_ += params_.kp * (error - prev_error_) + integral;
   allocation_ = std::clamp(allocation_,
                            static_cast<double>(params_.min_threads),
                            static_cast<double>(params_.max_threads));
@@ -71,8 +91,17 @@ void PiResponseTimePolicy::adapt(SimTime) {
   apply_allocation(system_, agent_, targets_, allocation_);
 }
 
+bool PiResponseTimePolicy::targets_provisioning() const {
+  // The error signal is the *system* mean RT, so a provisioning window on
+  // any tier pollutes it — scan them all, not just the adapted ones.
+  for (std::size_t tier = 0; tier < system_.tier_count(); ++tier) {
+    if (system_.tier(tier).provisioning_vms() > 0) return true;
+  }
+  return false;
+}
+
 FuzzyResponseTimePolicy::FuzzyResponseTimePolicy(
-    NTierSystem& system, SoftwareAgent& agent,
+    TierSystem& system, SoftwareAgent& agent,
     const MetricsWarehouse& warehouse, SoftAdaptTargets targets,
     FuzzyPolicyParams params)
     : system_(system), agent_(agent), warehouse_(warehouse),

@@ -14,7 +14,7 @@
 
 #include <string>
 
-#include "cluster/ntier_system.h"
+#include "cluster/tier_system.h"
 #include "conscale/agents.h"
 #include "conscale/policy.h"
 #include "conscale/zoo/zoo_params.h"
@@ -24,11 +24,16 @@ namespace conscale::zoo {
 
 /// Velocity-form PI on the normalized RT error
 ///   e = (target - rt) / target
-/// so the integral lives in the allocation itself (no windup term to clamp):
+/// with the integral living in the allocation itself:
 ///   a_k = clamp(a_{k-1} + kp (e_k - e_{k-1}) + ki e_k).
+/// Anti-windup is conditional integration (PiPolicyParams::
+/// conditional_integration, default on): the ki term is skipped while the
+/// clamp is saturated in the error's direction or while an adapted tier is
+/// still provisioning VMs (actuator lag — the regime that produced the
+/// original zoo grid's 9.5 s dual_phase p99).
 class PiResponseTimePolicy final : public SoftResourcePolicy {
  public:
-  PiResponseTimePolicy(NTierSystem& system, SoftwareAgent& agent,
+  PiResponseTimePolicy(TierSystem& system, SoftwareAgent& agent,
                        const MetricsWarehouse& warehouse,
                        SoftAdaptTargets targets, PiPolicyParams params);
 
@@ -36,7 +41,11 @@ class PiResponseTimePolicy final : public SoftResourcePolicy {
   void adapt(SimTime now) override;
 
  private:
-  NTierSystem& system_;
+  /// True while any adapted tier still has VMs in flight — the actuator-lag
+  /// window conditional integration suspends the ki term in.
+  bool targets_provisioning() const;
+
+  TierSystem& system_;
   SoftwareAgent& agent_;
   const MetricsWarehouse& warehouse_;
   SoftAdaptTargets targets_;
@@ -52,7 +61,7 @@ class PiResponseTimePolicy final : public SoftResourcePolicy {
 /// {-large, -small, 0, +small, +large}, weighted-average defuzzification.
 class FuzzyResponseTimePolicy final : public SoftResourcePolicy {
  public:
-  FuzzyResponseTimePolicy(NTierSystem& system, SoftwareAgent& agent,
+  FuzzyResponseTimePolicy(TierSystem& system, SoftwareAgent& agent,
                           const MetricsWarehouse& warehouse,
                           SoftAdaptTargets targets, FuzzyPolicyParams params);
 
@@ -62,7 +71,7 @@ class FuzzyResponseTimePolicy final : public SoftResourcePolicy {
  private:
   double defuzzify_step(double error, double delta_error) const;
 
-  NTierSystem& system_;
+  TierSystem& system_;
   SoftwareAgent& agent_;
   const MetricsWarehouse& warehouse_;
   SoftAdaptTargets targets_;

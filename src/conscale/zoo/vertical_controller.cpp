@@ -6,7 +6,7 @@
 namespace conscale::zoo {
 
 VerticalEntitlementController::VerticalEntitlementController(
-    Simulation& sim, NTierSystem& system, const MetricsWarehouse& warehouse,
+    Simulation& sim, TierSystem& system, const MetricsWarehouse& warehouse,
     HardwareAgent& hw, SoftwareAgent& sw, SoftResourcePolicy& policy,
     const ControllerConfig& controller_config,
     VerticalControllerParams params)

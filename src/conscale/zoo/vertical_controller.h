@@ -11,7 +11,7 @@
 #include <memory>
 #include <vector>
 
-#include "cluster/ntier_system.h"
+#include "cluster/tier_system.h"
 #include "conscale/agents.h"
 #include "conscale/controller.h"
 #include "conscale/zoo/zoo_params.h"
@@ -31,7 +31,7 @@ namespace conscale::zoo {
 /// safely below the threshold rule's 80 % scale-out line.
 class VerticalEntitlementController final : public Controller {
  public:
-  VerticalEntitlementController(Simulation& sim, NTierSystem& system,
+  VerticalEntitlementController(Simulation& sim, TierSystem& system,
                                 const MetricsWarehouse& warehouse,
                                 HardwareAgent& hw, SoftwareAgent& sw,
                                 SoftResourcePolicy& policy,
@@ -43,7 +43,7 @@ class VerticalEntitlementController final : public Controller {
  private:
   void review(SimTime now);
 
-  NTierSystem& system_;
+  TierSystem& system_;
   const MetricsWarehouse& warehouse_;
   HardwareAgent& hw_;
   VerticalControllerParams params_;

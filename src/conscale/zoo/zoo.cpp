@@ -27,6 +27,7 @@ ControllerSpec pi_spec() {
             reader.get("ki", config.pi.ki);
             reader.get("min_threads", config.pi.min_threads);
             reader.get("max_threads", config.pi.max_threads);
+            reader.get("anti_windup", config.pi.conditional_integration);
             reader.finish();
           },
       .build =

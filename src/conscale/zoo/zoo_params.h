@@ -23,6 +23,15 @@ struct PiPolicyParams {
   double ki = 4.0;              ///< threads per unit error-integral (per adapt)
   int min_threads = 4;          ///< actuation clamp (keeps the pipe open)
   int max_threads = 400;
+  /// Conditional integration (anti-windup). The velocity form keeps the
+  /// integral inside the clamped allocation, but two regimes still wind it
+  /// up: errors pushing further into a saturated clamp, and RT-over-target
+  /// errors during VM-provisioning windows — there the excursion reflects
+  /// missing hardware, not excess concurrency, and integrating it shrinks
+  /// the pools exactly when the tier needs them open, then keeps them
+  /// pinned after the VMs land (the 9.5 s dual_phase p99 of the original
+  /// zoo grid). When set, the ki term is skipped in both regimes.
+  bool conditional_integration = true;
 };
 
 /// Fuzzy response-time regulator (Venkatarama & Sekaran): a 9-rule Mamdani

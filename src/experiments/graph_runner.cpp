@@ -1,0 +1,197 @@
+#include "experiments/graph_runner.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.h"
+#include "experiments/parallel.h"
+#include "workload/client.h"
+
+namespace conscale {
+
+GraphRunResult run_graph_scaling(const GraphScenario& scenario,
+                                 TraceKind kind,
+                                 const std::string& framework_ref,
+                                 const ScalingRunOptions& options) {
+  TraceParams tp;
+  tp.duration = options.duration;
+  tp.max_users = scenario.base.scaled_users(scenario.base.max_users);
+  tp.seed = scenario.base.seed ^ 0xbeef;
+  const WorkloadTrace trace = make_trace(kind, tp);
+  return run_graph_scaling(scenario, trace, framework_ref, options);
+}
+
+GraphRunResult run_graph_scaling(const GraphScenario& scenario,
+                                 const WorkloadTrace& trace,
+                                 const std::string& framework_ref,
+                                 const ScalingRunOptions& options) {
+  if (options.session_workload) {
+    throw std::invalid_argument(
+        "run_graph_scaling: session workloads are not supported on graphs");
+  }
+  // Assembly order mirrors run_scaling exactly — the linear-equivalence
+  // contract (byte-identical results for chain-as-DAG runs) depends on
+  // every RNG consumer being constructed and seeded in the same sequence.
+  Simulation sim;
+  RequestMix mix = scenario.mix;
+  if (options.runtime_dataset_scale != 1.0) {
+    mix.apply_dataset_scale(options.runtime_dataset_scale);
+  }
+
+  const RunContext* ctx = &options.context;
+  topology::ServiceGraph system(sim, scenario.graph, ctx);
+  auto warehouse = std::make_shared<MetricsWarehouse>();
+  MonitoringParams monitoring = options.monitoring;
+  monitoring.fine_period *= scenario.base.work_scale;
+  MonitoringAgent monitor(sim, system, *warehouse, monitoring, ctx);
+
+  FrameworkConfig config = options.framework_config
+                               ? *options.framework_config
+                               : scenario.framework;
+  ScalingFramework framework(sim, system, *warehouse, framework_ref, config,
+                             ctx);
+  // Passive RT recorders only — attaching them creates no events and draws
+  // no randomness, so it cannot perturb the replayed sequence.
+  LatencyBreakdown breakdown(system);
+
+  auto submit_fn = [&system](const RequestContext& request,
+                             std::function<void(RequestOutcome)> done) {
+    system.submit(request, std::move(done));
+  };
+  ClientPopulation::Params client_params;
+  client_params.think_time_mean = scenario.base.think_time;
+  client_params.seed = scenario.base.seed ^ 0xc11e;
+  ClientPopulation clients(sim, trace, mix, submit_fn, client_params);
+  clients.set_completion_hook([&monitor](SimTime issued, double rt,
+                                         const RequestClass&) {
+    monitor.on_client_completion(issued, rt);
+  });
+  clients.set_rejection_hook(
+      [&monitor](SimTime at) { monitor.on_client_rejection(at); });
+
+  std::unique_ptr<FaultInjector> injector;
+  if (!options.faults.empty()) {
+    injector = std::make_unique<FaultInjector>(sim, system, warehouse.get(),
+                                               options.faults, ctx);
+    injector->arm();
+  }
+
+  sim.run_until(options.duration);
+
+  GraphRunResult result;
+  ScalingRunResult& run = result.run;
+  run.framework_name = framework.name();
+  run.framework_key = framework.key();
+  run.trace_name = trace.name();
+  run.controller_counters = framework.controller().counters();
+  run.system = warehouse->system_series();
+  for (std::size_t i = 0; i < system.tier_count(); ++i) {
+    const std::string& name = system.tier(i).name();
+    run.tiers[name] = warehouse->tier_series(name);
+  }
+  run.events = framework.all_events();
+  if (auto* estimator = framework.estimator_service()) {
+    run.sct_history = estimator->history();
+  }
+  const LogHistogram& rts = clients.response_times();
+  run.mean_rt_ms = to_ms(rts.mean());
+  run.p50_ms = to_ms(rts.percentile(50.0));
+  run.p95_ms = to_ms(rts.percentile(95.0));
+  run.p99_ms = to_ms(rts.percentile(99.0));
+  run.max_rt_ms = to_ms(rts.max_recorded());
+  run.sla_500ms = rts.fraction_below(0.5);
+  run.requests_issued = clients.requests_issued();
+  run.requests_completed = clients.requests_completed();
+  run.requests_rejected = clients.requests_rejected();
+  run.hook_underflows = monitor.hook_underflows();
+  if (injector) {
+    run.fault_stats = injector->stats();
+    run.fault_windows = injector->windows();
+    run.fault_plan_text = injector->plan().to_text();
+    run.requests_aborted = system.total_aborted_requests();
+    run.dropped_samples = warehouse->dropped_samples();
+  }
+  run.warehouse = std::move(warehouse);
+
+  result.admission = system.admission_stats();
+  for (std::size_t i = 0; i < system.tier_count(); ++i) {
+    if (scenario.graph.nodes[i].cache.enabled) {
+      result.caches.emplace_back(system.tier(i).name(),
+                                 system.cache_stats(i));
+    }
+  }
+  result.node_latency = breakdown.by_tier();
+  return result;
+}
+
+bool graph_results_equivalent(const GraphRunResult& a, const GraphRunResult& b,
+                              std::string* diff) {
+  if (!results_equivalent(a.run, b.run, diff)) return false;
+  auto fail = [diff](const std::string& message) {
+    if (diff) *diff = message;
+    return false;
+  };
+  if (a.admission.admitted != b.admission.admitted ||
+      a.admission.rejected_occupancy != b.admission.rejected_occupancy ||
+      a.admission.rejected_age != b.admission.rejected_age) {
+    return fail("admission stats");
+  }
+  if (a.caches.size() != b.caches.size()) return fail("cache node count");
+  for (std::size_t i = 0; i < a.caches.size(); ++i) {
+    if (a.caches[i].first != b.caches[i].first ||
+        a.caches[i].second.hits != b.caches[i].second.hits ||
+        a.caches[i].second.misses != b.caches[i].second.misses) {
+      std::ostringstream message;
+      message << "cache stats [" << i << "]";
+      return fail(message.str());
+    }
+  }
+  if (a.node_latency.size() != b.node_latency.size()) {
+    return fail("node_latency length");
+  }
+  for (std::size_t i = 0; i < a.node_latency.size(); ++i) {
+    const auto& x = a.node_latency[i];
+    const auto& y = b.node_latency[i];
+    if (x.tier != y.tier || x.completions != y.completions ||
+        x.mean_ms != y.mean_ms || x.p50_ms != y.p50_ms ||
+        x.p95_ms != y.p95_ms || x.p99_ms != y.p99_ms ||
+        x.max_ms != y.max_ms) {
+      std::ostringstream message;
+      message << "node_latency [" << i << "]";
+      return fail(message.str());
+    }
+  }
+  return true;
+}
+
+void dump_graph_system_csv(const std::string& path,
+                           const GraphRunResult& result) {
+  CsvWriter csv(path);
+  csv.header({"t", "throughput_rps", "mean_rt_ms", "max_rt_ms", "total_vms",
+              "rejected"});
+  for (const auto& s : result.run.system) {
+    csv.row({s.t, s.throughput, s.mean_rt * 1e3, s.max_rt * 1e3,
+             static_cast<double>(s.total_vms),
+             static_cast<double>(s.rejected)});
+  }
+}
+
+void dump_node_latency_csv(const std::string& path,
+                           const GraphRunResult& result) {
+  CsvWriter csv(path);
+  csv.header({"node", "completions", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
+              "max_ms"});
+  char buffer[64];
+  auto fmt = [&buffer](double value) {
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    return std::string(buffer);
+  };
+  for (const auto& row : result.node_latency) {
+    csv.raw_row({row.tier, std::to_string(row.completions), fmt(row.mean_ms),
+                 fmt(row.p50_ms), fmt(row.p95_ms), fmt(row.p99_ms),
+                 fmt(row.max_ms)});
+  }
+}
+
+}  // namespace conscale

@@ -32,6 +32,12 @@ void export_run_json(std::ostream& out, const ScalingRunResult& result,
   json.key("sla_500ms").value(result.sla_500ms);
   json.key("requests_issued").value(result.requests_issued);
   json.key("requests_completed").value(result.requests_completed);
+  // Shedding keys appear only when admission control actually rejected
+  // something, so the JSON of every pre-existing bench stays byte-identical.
+  const bool any_rejected = result.requests_rejected > 0;
+  if (any_rejected) {
+    json.key("requests_rejected").value(result.requests_rejected);
+  }
   json.end_object();
 
   json.key("system_series").begin_array();
@@ -42,6 +48,9 @@ void export_run_json(std::ostream& out, const ScalingRunResult& result,
     json.key("mean_rt_ms").value(s.mean_rt * 1e3);
     json.key("max_rt_ms").value(s.max_rt * 1e3);
     json.key("total_vms").value(static_cast<std::uint64_t>(s.total_vms));
+    if (any_rejected) {
+      json.key("rejected").value(static_cast<std::uint64_t>(s.rejected));
+    }
     json.end_object();
   }
   json.end_array();

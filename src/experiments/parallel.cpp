@@ -145,6 +145,8 @@ bool results_equivalent(const ScalingRunResult& a, const ScalingRunResult& b,
     if (x.max_rt != y.max_rt) return fail(diff, at("system", i, "max_rt"));
     if (x.total_vms != y.total_vms)
       return fail(diff, at("system", i, "total_vms"));
+    if (x.rejected != y.rejected)
+      return fail(diff, at("system", i, "rejected"));
   }
 
   if (a.tiers.size() != b.tiers.size()) return fail(diff, "tier count");
@@ -191,6 +193,8 @@ bool results_equivalent(const ScalingRunResult& a, const ScalingRunResult& b,
     return fail(diff, "requests_issued");
   if (a.requests_completed != b.requests_completed)
     return fail(diff, "requests_completed");
+  if (a.requests_rejected != b.requests_rejected)
+    return fail(diff, "requests_rejected");
   if (a.hook_underflows != b.hook_underflows)
     return fail(diff, "hook_underflows");
 

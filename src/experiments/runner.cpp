@@ -129,6 +129,7 @@ ScalingRunResult run_scaling(const ScenarioParams& params,
       clients ? clients->requests_issued() : sessions->requests_issued();
   result.requests_completed = clients ? clients->requests_completed()
                                       : sessions->requests_completed();
+  result.requests_rejected = clients ? clients->requests_rejected() : 0;
   result.hook_underflows = monitor.hook_underflows();
   if (injector) {
     result.fault_stats = injector->stats();

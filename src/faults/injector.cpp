@@ -19,7 +19,7 @@ bool is_all_digits(const std::string& s) {
 
 }  // namespace
 
-FaultInjector::FaultInjector(Simulation& sim, NTierSystem& system,
+FaultInjector::FaultInjector(Simulation& sim, TierSystem& system,
                              MetricsWarehouse* warehouse, FaultPlan plan,
                              const RunContext* context)
     : sim_(sim), system_(system), warehouse_(warehouse),

@@ -1,4 +1,4 @@
-// FaultInjector: arms a FaultPlan against a running NTierSystem by
+// FaultInjector: arms a FaultPlan against a running TierSystem by
 // translating each declarative event into ordinary simcore events. All
 // scheduling happens in arm(), before the simulation advances, so the
 // injections interleave with workload and control-loop events in the
@@ -22,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "cluster/ntier_system.h"
+#include "cluster/tier_system.h"
 #include "common/run_context.h"
 #include "faults/fault_plan.h"
 #include "metrics/warehouse.h"
@@ -57,7 +57,7 @@ class FaultInjector {
   /// kMonitoringDropout events are invalid and arm() throws on them.
   /// The plan's tier selectors are resolved against `system` immediately,
   /// so a plan naming a nonexistent tier fails at construction.
-  FaultInjector(Simulation& sim, NTierSystem& system,
+  FaultInjector(Simulation& sim, TierSystem& system,
                 MetricsWarehouse* warehouse, FaultPlan plan,
                 const RunContext* context = nullptr);
 
@@ -76,7 +76,7 @@ class FaultInjector {
   void arm_dropout(const FaultEvent& event);
 
   Simulation& sim_;
-  NTierSystem& system_;
+  TierSystem& system_;
   MetricsWarehouse* warehouse_;
   const RunContext* ctx_;
   FaultPlan plan_;

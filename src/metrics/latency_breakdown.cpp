@@ -8,7 +8,7 @@
 
 namespace conscale {
 
-LatencyBreakdown::LatencyBreakdown(NTierSystem& system) {
+LatencyBreakdown::LatencyBreakdown(TierSystem& system) {
   for (std::size_t i = 0; i < system.tier_count(); ++i) {
     TierGroup& tier = system.tier(i);
     for (Vm* vm : tier.all_vms()) attach(tier.name(), *vm);

@@ -9,7 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "cluster/ntier_system.h"
+#include "cluster/tier_system.h"
 #include "common/histogram.h"
 
 namespace conscale {
@@ -17,7 +17,7 @@ namespace conscale {
 class LatencyBreakdown {
  public:
   /// Attaches RT recorders to every present and future server of `system`.
-  explicit LatencyBreakdown(NTierSystem& system);
+  explicit LatencyBreakdown(TierSystem& system);
 
   struct ServerStats {
     std::string server;

@@ -4,7 +4,7 @@
 
 namespace conscale {
 
-MonitoringAgent::MonitoringAgent(Simulation& sim, NTierSystem& system,
+MonitoringAgent::MonitoringAgent(Simulation& sim, TierSystem& system,
                                  MetricsWarehouse& warehouse, Params params,
                                  const RunContext* context)
     : sim_(sim), system_(system),
@@ -42,6 +42,10 @@ void MonitoringAgent::on_client_completion(SimTime, double rt) {
   window_rt_max_ = std::max(window_rt_max_, rt);
 }
 
+void MonitoringAgent::on_client_rejection(SimTime) {
+  ++window_rejections_;
+}
+
 void MonitoringAgent::coarse_tick(SimTime now) {
   for (std::size_t i = 0; i < system_.tier_count(); ++i) {
     TierGroup& tier = system_.tier(i);
@@ -64,8 +68,10 @@ void MonitoringAgent::coarse_tick(SimTime now) {
                     : 0.0;
   sys.max_rt = window_rt_max_;
   sys.total_vms = static_cast<std::uint32_t>(system_.total_billed_vms());
+  sys.rejected = static_cast<std::uint32_t>(window_rejections_);
   warehouse_.record_system(sys);
   window_completions_ = 0;
+  window_rejections_ = 0;
   window_rt_sum_ = 0.0;
   window_rt_max_ = 0.0;
 }

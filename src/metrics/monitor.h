@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "cluster/ntier_system.h"
+#include "cluster/tier_system.h"
 #include "common/run_context.h"
 #include "metrics/interval.h"
 #include "metrics/warehouse.h"
@@ -31,12 +31,15 @@ class MonitoringAgent {
 
   /// `context` (optional) scopes the agent's diagnostics to the owning run;
   /// it must outlive the agent.
-  MonitoringAgent(Simulation& sim, NTierSystem& system,
+  MonitoringAgent(Simulation& sim, TierSystem& system,
                   MetricsWarehouse& warehouse, Params params = {},
                   const RunContext* context = nullptr);
 
   /// Wire this to the client population's completion hook.
   void on_client_completion(SimTime issued, double rt);
+  /// Wire this to the client population's rejection hook (admission
+  /// control); folds shed requests into the per-second system samples.
+  void on_client_rejection(SimTime rejected_at);
 
   const Params& params() const { return params_; }
 
@@ -50,7 +53,7 @@ class MonitoringAgent {
   void coarse_tick(SimTime now);
 
   Simulation& sim_;
-  NTierSystem& system_;
+  TierSystem& system_;
   const RunContext* ctx_;
   MetricsWarehouse& warehouse_;
   Params params_;
@@ -64,6 +67,7 @@ class MonitoringAgent {
 
   // Per-second client completion accumulation.
   std::uint64_t window_completions_ = 0;
+  std::uint64_t window_rejections_ = 0;
   double window_rt_sum_ = 0.0;
   double window_rt_max_ = 0.0;
 };

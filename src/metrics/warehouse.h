@@ -39,6 +39,7 @@ struct SystemSample {
   double mean_rt = 0.0;     ///< mean RT of completions in the second [s]
   double max_rt = 0.0;      ///< worst completion in the second [s]
   std::uint32_t total_vms = 0;
+  std::uint32_t rejected = 0;  ///< requests shed by admission this second
 };
 
 class MetricsWarehouse {

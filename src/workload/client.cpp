@@ -4,9 +4,28 @@
 
 namespace conscale {
 
+namespace {
+
+// A plain SubmitFn can never reject; wrap it so the internal path is
+// uniformly outcome-aware without changing its event sequence.
+ClientPopulation::OutcomeSubmitFn wrap_submit(ClientPopulation::SubmitFn fn) {
+  return [fn = std::move(fn)](const RequestContext& ctx,
+                              std::function<void(RequestOutcome)> done) {
+    fn(ctx, [done = std::move(done)] { done(RequestOutcome::kServed); });
+  };
+}
+
+}  // namespace
+
 ClientPopulation::ClientPopulation(Simulation& sim, const WorkloadTrace& trace,
                                    const RequestMix& mix, SubmitFn submit,
                                    Params params)
+    : ClientPopulation(sim, trace, mix, wrap_submit(std::move(submit)),
+                       params) {}
+
+ClientPopulation::ClientPopulation(Simulation& sim, const WorkloadTrace& trace,
+                                   const RequestMix& mix,
+                                   OutcomeSubmitFn submit, Params params)
     : sim_(sim), trace_(trace), mix_(&mix), submit_(std::move(submit)),
       params_(params), rng_(params.seed) {
   adjust_population(sim_.now());
@@ -71,11 +90,16 @@ void ClientPopulation::user_submit(std::uint64_t id) {
   ctx.issued_at = sim_.now();
   ++issued_;
 
-  submit_(ctx, [this, id, ctx] {
-    ++completed_;
-    const double rt = sim_.now() - ctx.issued_at;
-    rt_histogram_.add(rt);
-    if (hook_) hook_(ctx.issued_at, rt, *ctx.request_class);
+  submit_(ctx, [this, id, ctx](RequestOutcome outcome) {
+    if (outcome == RequestOutcome::kServed) {
+      ++completed_;
+      const double rt = sim_.now() - ctx.issued_at;
+      rt_histogram_.add(rt);
+      if (hook_) hook_(ctx.issued_at, rt, *ctx.request_class);
+    } else {
+      ++rejected_;
+      if (rejection_hook_) rejection_hook_(sim_.now());
+    }
     auto it2 = users_.find(id);
     if (it2 == users_.end()) return;
     it2->second.in_flight = false;

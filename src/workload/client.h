@@ -29,9 +29,16 @@ class ClientPopulation {
   /// the response returns.
   using SubmitFn = std::function<void(const RequestContext&,
                                       std::function<void()> on_response)>;
+  /// Outcome-aware entry point: the continuation reports whether the request
+  /// was served or shed by admission control (topology::ServiceGraph).
+  using OutcomeSubmitFn =
+      std::function<void(const RequestContext&,
+                         std::function<void(RequestOutcome)> on_response)>;
   /// Observer of completed end-to-end requests (issued time, response time).
   using CompletionHook =
       std::function<void(SimTime issued, double rt, const RequestClass&)>;
+  /// Observer of shed requests (fires at the rejection instant).
+  using RejectionHook = std::function<void(SimTime rejected_at)>;
 
   struct Params {
     double think_time_mean = 1.5;  ///< seconds; 0 = closed-loop stress mode
@@ -41,11 +48,21 @@ class ClientPopulation {
 
   ClientPopulation(Simulation& sim, const WorkloadTrace& trace,
                    const RequestMix& mix, SubmitFn submit, Params params);
+  /// Outcome-aware variant: systems with admission control report
+  /// RequestOutcome::kRejected for shed requests. A rejected user goes back
+  /// to thinking (retry-after-backoff behavior); the request counts toward
+  /// requests_issued()/requests_rejected() but not the RT histogram.
+  ClientPopulation(Simulation& sim, const WorkloadTrace& trace,
+                   const RequestMix& mix, OutcomeSubmitFn submit,
+                   Params params);
   ~ClientPopulation();
   ClientPopulation(const ClientPopulation&) = delete;
   ClientPopulation& operator=(const ClientPopulation&) = delete;
 
   void set_completion_hook(CompletionHook hook) { hook_ = std::move(hook); }
+  void set_rejection_hook(RejectionHook hook) {
+    rejection_hook_ = std::move(hook);
+  }
 
   /// Swap the request mix at runtime (workload-type change experiments).
   void set_mix(const RequestMix& mix) { mix_ = &mix; }
@@ -53,6 +70,8 @@ class ClientPopulation {
   std::size_t active_users() const { return users_.size(); }
   std::uint64_t requests_issued() const { return issued_; }
   std::uint64_t requests_completed() const { return completed_; }
+  /// Requests shed by admission control (always zero for plain SubmitFn).
+  std::uint64_t requests_rejected() const { return rejected_; }
   /// End-to-end (client-perceived) response times of the whole run.
   const LogHistogram& response_times() const { return rt_histogram_; }
 
@@ -72,10 +91,11 @@ class ClientPopulation {
   Simulation& sim_;
   const WorkloadTrace& trace_;
   const RequestMix* mix_;
-  SubmitFn submit_;
+  OutcomeSubmitFn submit_;
   Params params_;
   Rng rng_;
   CompletionHook hook_;
+  RejectionHook rejection_hook_;
 
   // Determinism audit (DESIGN.md §8): keyed access only on the run path;
   // the destructor's cancel sweep is the single iteration, waived in the
@@ -86,6 +106,7 @@ class ClientPopulation {
   std::size_t retire_pending_ = 0;
   std::uint64_t issued_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
   LogHistogram rt_histogram_;
   std::unique_ptr<PeriodicTask> adjust_task_;
 };

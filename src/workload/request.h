@@ -59,4 +59,10 @@ struct RequestContext {
   SimTime issued_at = 0.0;
 };
 
+/// Terminal fate of a submitted request. `kRejected` is produced by
+/// admission control (topology::ServiceGraph) when the system sheds load
+/// instead of queueing; rejected requests never enter the service pipeline
+/// and are excluded from response-time statistics.
+enum class RequestOutcome { kServed, kRejected };
+
 }  // namespace conscale

@@ -64,11 +64,12 @@ struct ZooFixture : ::testing::Test {
 TEST_F(ZooFixture, PiShrinksConcurrencyWhenRtAboveTarget) {
   PiResponseTimePolicy policy(system, sw, *warehouse, targets,
                               PiPolicyParams{});
+  sim.run_until(6.0);  // initial VMs ready: no actuator-lag suppression
   const double initial =
       static_cast<double>(system.tier(kAppTier).thread_pool_size());
   ASSERT_GT(initial, 4.0);
-  push_system(1.0, /*mean_rt=*/1.0, /*throughput=*/50.0);  // 4x over target
-  policy.adapt(1.0);
+  push_system(7.0, /*mean_rt=*/1.0, /*throughput=*/50.0);  // 4x over target
+  policy.adapt(7.0);
   ASSERT_FALSE(sw.events().empty());
   EXPECT_EQ(sw.events().back().action, "threads");
   EXPECT_LT(sw.events().back().value, initial);
@@ -77,26 +78,49 @@ TEST_F(ZooFixture, PiShrinksConcurrencyWhenRtAboveTarget) {
 TEST_F(ZooFixture, PiUpdatesOncePerObservation) {
   PiResponseTimePolicy policy(system, sw, *warehouse, targets,
                               PiPolicyParams{});
-  policy.adapt(0.5);  // no samples yet: no actuation
+  sim.run_until(6.0);
+  policy.adapt(6.5);  // no samples yet: no actuation
   EXPECT_TRUE(sw.events().empty());
-  push_system(1.0, 1.0, 50.0);
-  policy.adapt(1.0);
+  push_system(7.0, 1.0, 50.0);
+  policy.adapt(7.0);
   const std::size_t after_first = sw.events().size();
   ASSERT_GE(after_first, 1u);
-  policy.adapt(1.2);  // same observation: dedup, no second PI step
+  policy.adapt(7.2);  // same observation: dedup, no second PI step
   EXPECT_EQ(sw.events().size(), after_first);
 }
 
 TEST_F(ZooFixture, PiGrowsAllocationBackWhenRtRecovers) {
   PiResponseTimePolicy policy(system, sw, *warehouse, targets,
                               PiPolicyParams{});
-  push_system(1.0, 1.0, 50.0);
-  policy.adapt(1.0);
+  sim.run_until(6.0);
+  push_system(7.0, 1.0, 50.0);
+  policy.adapt(7.0);
   ASSERT_FALSE(sw.events().empty());
   const double shrunk = sw.events().back().value;
-  push_system(2.0, 0.05, 50.0);  // well under the 250 ms target
-  policy.adapt(2.0);
+  push_system(8.0, 0.05, 50.0);  // well under the 250 ms target
+  policy.adapt(8.0);
   EXPECT_GT(sw.events().back().value, shrunk);
+}
+
+TEST_F(ZooFixture, PiHoldsIntegratorWhileTargetsProvision) {
+  PiResponseTimePolicy policy(system, sw, *warehouse, targets,
+                              PiPolicyParams{});
+  // The sim never runs, so the initial VMs are still provisioning: RT over
+  // target is actuator lag, not excess concurrency — conditional
+  // integration skips the ki term and the allocation holds.
+  push_system(1.0, 1.0, 50.0);
+  policy.adapt(1.0);
+  EXPECT_TRUE(sw.events().empty());
+}
+
+TEST_F(ZooFixture, PiWindsUpDuringProvisioningWhenAntiWindupOff) {
+  PiPolicyParams params;
+  params.conditional_integration = false;
+  PiResponseTimePolicy policy(system, sw, *warehouse, targets, params);
+  push_system(1.0, 1.0, 50.0);  // same lagged regime as above
+  policy.adapt(1.0);
+  ASSERT_FALSE(sw.events().empty());  // legacy behavior: shrink anyway
+  EXPECT_EQ(sw.events().back().action, "threads");
 }
 
 // ---- fuzzy response-time policy -------------------------------------------

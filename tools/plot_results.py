@@ -111,6 +111,46 @@ def plot_resilience(path, output):
     print(f"wrote {output}")
 
 
+def plot_nodes(paths, output):
+    """Per-node latency breakdown bars from a graph bench's *_nodes.csv
+    (bench_dag / bench_cache_sweep): one group per service node, one bar
+    per percentile, one hatch family per input file so two runs (e.g. the
+    hit-ratio sweep's extremes) can be compared side by side."""
+    import matplotlib.pyplot as plt
+
+    percentiles = ["p50_ms", "p95_ms", "p99_ms"]
+    fig, ax = plt.subplots(figsize=(9, 5))
+    hatches = [None, "//", "..", "xx"]
+    nodes = None
+    width = 0.8 / (len(percentiles) * len(paths))
+    for f, path in enumerate(paths):
+        rows = read_csv_raw(path)
+        if not rows:
+            raise SystemExit(f"{path}: empty CSV")
+        if nodes is None:
+            nodes = [row["node"] for row in rows]
+        label_base = os.path.splitext(os.path.basename(path))[0]
+        by_node = {row["node"]: row for row in rows}
+        for j, pct in enumerate(percentiles):
+            slot = f * len(percentiles) + j
+            offset = (slot - (len(percentiles) * len(paths) - 1) / 2) * width
+            xs = [i + offset for i in range(len(nodes))]
+            ys = [float(by_node[node][pct]) if node in by_node else 0.0
+                  for node in nodes]
+            label = (pct if len(paths) == 1
+                     else f"{label_base} {pct}")
+            ax.bar(xs, ys, width=width, label=label,
+                   hatch=hatches[f % len(hatches)])
+    ax.set_xticks(range(len(nodes)))
+    ax.set_xticklabels(nodes, rotation=20, ha="right")
+    ax.set_xlabel("Service node")
+    ax.set_ylabel("Node-local latency [ms]")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(output, dpi=150)
+    print(f"wrote {output}")
+
+
 def plot_scatter(paths, output):
     import matplotlib.pyplot as plt
 
@@ -136,6 +176,10 @@ def main():
     parser.add_argument("--resilience", action="store_true",
                         help="treat the input as bench_resilience's "
                              "resilience.csv (per-fault tail-latency bars)")
+    parser.add_argument("--nodes", action="store_true",
+                        help="treat inputs as *_nodes.csv from bench_dag / "
+                             "bench_cache_sweep (per-node latency bars; "
+                             "several files overlay for comparison)")
     parser.add_argument("--windows", default=None, metavar="CSV",
                         help="a *_windows.csv from bench_resilience; shades "
                              "the fault windows on the timeline")
@@ -149,12 +193,15 @@ def main():
         sys.exit("matplotlib is required: pip install matplotlib")
 
     suffix = ("_scatter.png" if args.scatter else
-              "_tails.png" if args.resilience else "_timeline.png")
+              "_tails.png" if args.resilience else
+              "_bars.png" if args.nodes else "_timeline.png")
     output = args.output or (os.path.splitext(args.csvs[0])[0] + suffix)
     if args.scatter:
         plot_scatter(args.csvs, output)
     elif args.resilience:
         plot_resilience(args.csvs[0], output)
+    elif args.nodes:
+        plot_nodes(args.csvs, output)
     else:
         plot_timeline(args.csvs, output, windows=args.windows)
 
