@@ -12,6 +12,8 @@
 #include "resources/token_pool.h"
 #include "sct/estimator.h"
 #include "sct/scatter.h"
+#include "simcore/lanes/actor.h"
+#include "simcore/lanes/lane_engine.h"
 #include "simcore/simulation.h"
 #include "tier/server.h"
 #include "workload/trace.h"
@@ -231,6 +233,63 @@ void BM_SctEstimate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SctEstimate);
+
+// ---- lane engine (src/simcore/lanes) ---------------------------------------
+
+/// System-lane stand-in: receives a request, replies across the channel.
+class BenchEchoSink final : public lanes::LaneActor {
+ public:
+  explicit BenchEchoSink(lanes::LaneEngine& engine) : LaneActor(engine, 0) {}
+  void on_request(std::size_t reply_lane, EventCallback reply) {
+    post(reply_lane, 0.05, std::move(reply));
+  }
+};
+
+/// Shard stand-in: `sessions` closed-loop sessions that think (exponential)
+/// and round-trip one message through the sink — the SessionShard hot path
+/// (keyed timer churn + cross-lane messaging) without the serving system.
+class BenchShard final : public lanes::LaneActor {
+ public:
+  BenchShard(lanes::LaneEngine& engine, std::size_t lane, BenchEchoSink& sink,
+             std::size_t sessions, std::uint64_t seed)
+      : LaneActor(engine, lane), sink_(&sink), rng_(seed) {
+    for (std::size_t i = 0; i < sessions; ++i) think();
+  }
+
+ private:
+  void think() {
+    schedule_after(rng_.exponential(5.0), [this] { submit(); });
+  }
+  void submit() {
+    const std::size_t reply_lane = lane();
+    post(0, 0.05, [this, reply_lane] {
+      sink_->on_request(reply_lane, [this] { think(); });
+    });
+  }
+  BenchEchoSink* sink_;
+  Rng rng_;
+};
+
+void BM_LaneSessionChurn(benchmark::State& state) {
+  // Per-event cost must stay near-flat in the session count: the pending
+  // think timers live in a binary heap, so 16x more sessions may cost a
+  // log factor, never a linear one (check_bench_ratios.py gates the ratio).
+  const auto sessions = static_cast<std::size_t>(state.range(0));
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    lanes::LaneEngine::Options options;
+    options.lanes = 2;
+    options.lookahead = 0.05;
+    lanes::LaneEngine engine(options);
+    BenchEchoSink sink(engine);
+    BenchShard shard(engine, 1, sink, sessions, /*seed=*/29);
+    engine.run(10.0);
+    events += static_cast<std::int64_t>(engine.stats().events);
+    benchmark::DoNotOptimize(engine.stats().messages);
+  }
+  state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_LaneSessionChurn)->Arg(4096)->Arg(65536);
 
 void BM_TraceGeneration(benchmark::State& state) {
   TraceParams params;

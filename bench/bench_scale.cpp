@@ -1,0 +1,227 @@
+// bench_scale: the million-session scale bench of the lane-partitioned PDES
+// engine (src/simcore/lanes/, DESIGN.md §6.6).
+//
+// A constant trace holds `sessions` (default 1.2 million) concurrent
+// closed-loop sessions with a long think time against the paper's 3-tier
+// chain (or the fan-out DAG with topology=dag), partitioned into `shards`
+// SessionShards on `lanes` event-loop lanes. With compare=1 (default) every
+// cell also runs at lanes=1 — the serial reference — and the bench checks
+// the results are bit-identical before reporting the wall-clock ratio:
+// parallelism that changes a single byte of output is a bug, not a speedup.
+//
+// Keys: sessions= think= net_delay= shards= topology=chain|dag compare=
+// frameworks= plus the standard work_scale/seed/duration/csv_dir/jobs/lanes
+// (duration defaults to 120 s here — the bench measures engine throughput,
+// not a 12-minute control trajectory).
+#include <chrono>  // detlint: allow(banned-api) wall-clock cost of the engine itself; never feeds model time
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "experiments/graph_scenario.h"
+#include "experiments/laned_runner.h"
+
+namespace conscale {
+namespace {
+
+using bench::BenchEnv;
+
+struct CellReport {
+  double wall_seconds = 0.0;
+  LaneRunInfo info;
+  std::uint64_t completed = 0;
+  std::uint64_t issued = 0;
+  double p95_ms = 0.0;
+};
+
+double seconds_since(
+    const std::chrono::steady_clock::time_point start) {  // detlint: allow(banned-api) real-time measurement only
+  const auto elapsed =
+      std::chrono::steady_clock::now() - start;  // detlint: allow(banned-api) real-time measurement only
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+void print_cell(const std::string& label, const CellReport& cell) {
+  const LaneRunInfo& info = cell.info;
+  const double per_event_ns =
+      info.stats.events > 0
+          ? cell.wall_seconds * 1e9 / static_cast<double>(info.stats.events)
+          : 0.0;
+  std::cout << "  " << label << ": wall " << std::fixed
+            << std::setprecision(2) << cell.wall_seconds << " s, "
+            << info.stats.events << " events ("
+            << std::setprecision(0)
+            << (cell.wall_seconds > 0.0
+                    ? static_cast<double>(info.stats.events) /
+                          cell.wall_seconds
+                    : 0.0)
+            << " ev/s, " << std::setprecision(1) << per_event_ns
+            << " ns/event), " << info.stats.windows << " windows, "
+            << info.stats.messages << " messages\n"
+            << "      sessions active " << info.active_sessions
+            << ", issued " << cell.issued << ", completed " << cell.completed
+            << ", p95 " << std::setprecision(1) << cell.p95_ms << " ms\n";
+}
+
+}  // namespace
+}  // namespace conscale
+
+int main(int argc, char** argv) {
+  using namespace conscale;
+  using bench::frameworks_from;
+  if (bench::list_controllers_requested(argc, argv)) {
+    bench::print_controller_list(std::cout);
+    return 0;
+  }
+  BenchEnv env = BenchEnv::from_args(
+      argc, argv,
+      {"sessions", "think", "net_delay", "shards", "topology", "compare",
+       "frameworks"});
+  const Config config = Config::from_args(argc, argv);
+  const double sessions = config.get_double("sessions", 1.2e6);
+  const double think = config.get_double("think", 300.0);
+  const double net_delay = config.get_double("net_delay", 0.05);
+  const long long shards = config.get_int("shards", 12);
+  const long long lanes = config.get_int("lanes", 4);
+  const std::string topology = config.get_string("topology", "chain");
+  const bool compare = config.get_int("compare", 1) != 0;
+  const double duration = config.get_double("duration", 120.0);
+  const std::vector<ControllerRef> frameworks =
+      frameworks_from(config, "conscale");
+  if (topology != "chain" && topology != "dag") {
+    std::cerr << "topology= must be chain or dag\n";
+    return 1;
+  }
+
+  bench::banner(
+      "Lane-partitioned PDES — million-session scale bench",
+      "Beyond-paper systems work: conservative time-window synchronization "
+      "over the client<->frontend latency (DESIGN.md §6.6). lanes=K must "
+      "reproduce lanes=1 bit-for-bit; only the wall clock may move.");
+
+  // The serving side needs headroom for the offered load; the bench
+  // measures engine throughput, so the tiers start wide instead of making
+  // the controllers climb from 1/1/1 for half the run.
+  ScenarioParams params = env.params;
+  params.max_users = sessions;
+  params.think_time = think;
+  params.web_init = params.web_max = 4;
+  params.app_init = 16;
+  params.app_max = 48;
+  params.db_init = 16;
+  params.db_max = 48;
+
+  const WorkloadTrace trace = make_constant_trace(sessions, duration);
+  const GraphScenario graph_scenario = make_fanout_scenario(params);
+
+  LanedRunOptions options;
+  options.base.duration = duration;
+  options.base.faults = env.faults;
+  options.shards = shards > 0 ? static_cast<std::size_t>(shards) : 1;
+  options.net_delay = net_delay;
+
+  std::cout << "  grid: " << frameworks.size() << " frameworks x "
+            << topology << ", " << std::fixed << std::setprecision(0)
+            << sessions << " sessions, " << options.shards << " shards, "
+            << lanes << " lanes, " << duration << " s simulated\n";
+  {
+    const lanes::LookaheadAnalysis analysis =
+        analyze_lookahead(params, options);
+    std::cout << analysis.summary();
+    std::cout << "  protocol: " << lanes::to_string(analysis.recommended())
+              << "\n";
+  }
+
+  bool all_identical = true;
+  for (const ControllerRef& framework : frameworks) {
+    const std::string name = to_string(framework);
+    std::cout << "\n  == " << name << " / " << topology << " ==\n";
+
+    const auto run_cell = [&](std::size_t lane_count, CellReport& cell,
+                              ScalingRunResult* chain_out,
+                              GraphRunResult* graph_out) {
+      LanedRunOptions cell_options = options;
+      cell_options.lanes = lane_count;
+      cell_options.base.context.set_label(name + "/lanes" +
+                                          std::to_string(lane_count));
+      const auto start =
+          std::chrono::steady_clock::now();  // detlint: allow(banned-api) real-time measurement only
+      if (topology == "chain") {
+        *chain_out = run_scaling_laned(params, trace, name, cell_options,
+                                       &cell.info);
+        cell.completed = chain_out->requests_completed;
+        cell.issued = chain_out->requests_issued;
+        cell.p95_ms = chain_out->p95_ms;
+      } else {
+        *graph_out = run_graph_scaling_laned(graph_scenario, trace, name,
+                                             cell_options, &cell.info);
+        cell.completed = graph_out->run.requests_completed;
+        cell.issued = graph_out->run.requests_issued;
+        cell.p95_ms = graph_out->run.p95_ms;
+      }
+      cell.wall_seconds = seconds_since(start);
+    };
+
+    ScalingRunResult laned_chain, serial_chain;
+    GraphRunResult laned_graph, serial_graph;
+    CellReport laned_cell, serial_cell;
+    run_cell(static_cast<std::size_t>(lanes), laned_cell, &laned_chain,
+             &laned_graph);
+    print_cell("lanes=" + std::to_string(lanes), laned_cell);
+
+    if (!env.csv_dir.empty()) {
+      const std::string stem = "scale_" + topology + "_" + framework.name +
+                               "_lanes" + std::to_string(lanes);
+      if (topology == "chain") {
+        env.maybe_dump(stem, laned_chain);
+      } else {
+        dump_graph_system_csv(env.csv_dir + "/" + stem + ".csv", laned_graph);
+        dump_node_latency_csv(env.csv_dir + "/" + stem + "_nodes.csv",
+                              laned_graph);
+      }
+    }
+
+    if (!compare) continue;
+    run_cell(1, serial_cell, &serial_chain, &serial_graph);
+    print_cell("lanes=1", serial_cell);
+    if (!env.csv_dir.empty()) {
+      const std::string stem =
+          "scale_" + topology + "_" + framework.name + "_lanes1";
+      if (topology == "chain") {
+        env.maybe_dump(stem, serial_chain);
+      } else {
+        dump_graph_system_csv(env.csv_dir + "/" + stem + ".csv",
+                              serial_graph);
+        dump_node_latency_csv(env.csv_dir + "/" + stem + "_nodes.csv",
+                              serial_graph);
+      }
+    }
+
+    std::string diff;
+    const bool identical =
+        topology == "chain"
+            ? results_equivalent(laned_chain, serial_chain, &diff)
+            : graph_results_equivalent(laned_graph, serial_graph, &diff);
+    if (!identical) {
+      all_identical = false;
+      std::cout << "  DETERMINISM VIOLATION (lanes=" << lanes
+                << " vs lanes=1): " << diff << "\n";
+    } else {
+      std::cout << "  determinism: lanes=" << lanes
+                << " == lanes=1 (bit-identical)\n";
+    }
+    if (laned_cell.wall_seconds > 0.0) {
+      std::cout << "  speedup: " << std::fixed << std::setprecision(2)
+                << serial_cell.wall_seconds / laned_cell.wall_seconds
+                << "x (serial " << serial_cell.wall_seconds << " s / laned "
+                << laned_cell.wall_seconds << " s)\n";
+    }
+  }
+
+  bench::paper_note(
+      "No paper counterpart — scalability infrastructure for the simulator "
+      "itself; determinism contract per DESIGN.md §8/§6.6.");
+  return all_identical ? 0 : 1;
+}

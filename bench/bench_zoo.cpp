@@ -39,11 +39,12 @@ int main(int argc, char** argv) {
   const Config config = Config::from_args(argc, argv);
   const long trace_limit = config.get_int("traces", 6);
   const std::vector<ControllerRef> frameworks = frameworks_from(
-      config, "ec2,dcm,conscale,pi,fuzzy,vertical,holt-winters");
+      config, "ec2,dcm,conscale,pi,fuzzy,vertical,holt-winters,hybrid");
   banner("Controller zoo — every registered controller, six traces",
          "Beyond the paper: reactive (ec2), offline-profiled (dcm), online "
-         "SCT (conscale), RT-feedback (pi, fuzzy), vertical (vertical) and "
-         "predictive (holt-winters) paradigms on the Table-I grid.");
+         "SCT (conscale), RT-feedback (pi, fuzzy), vertical (vertical), "
+         "predictive (holt-winters) and forecast+SCT (hybrid) paradigms on "
+         "the Table-I grid.");
 
   std::vector<TraceKind> traces = all_trace_kinds();
   if (trace_limit > 0 &&

@@ -35,6 +35,7 @@ struct FrameworkConfig {
   FuzzyPolicyParams fuzzy;
   VerticalControllerParams vertical;
   PredictiveControllerParams predictive;
+  HybridControllerParams hybrid;
 };
 
 class ScalingFramework {

@@ -4,6 +4,7 @@
 
 #include "conscale/framework.h"
 #include "conscale/registry.h"
+#include "conscale/zoo/hybrid_controller.h"
 #include "conscale/zoo/predictive_controller.h"
 #include "conscale/zoo/rt_policies.h"
 #include "conscale/zoo/vertical_controller.h"
@@ -139,6 +140,46 @@ ControllerSpec holt_winters_spec() {
   };
 }
 
+ControllerSpec hybrid_spec() {
+  return ControllerSpec{
+      .name = "hybrid",
+      .display_name = "Hybrid-PredSCT",
+      .description = "Holt-Winters forecast hardware scaling combined with "
+                     "ConScale's online SCT soft-resource adaptation",
+      .reference = "Qu et al., arXiv:1609.09224 + Liu et al., IPPS'20",
+      .configure =
+          [](const ControllerOptions& options, FrameworkConfig& config) {
+            OptionReader reader("hybrid", options);
+            reader.get("alpha", config.hybrid.forecast.alpha);
+            reader.get("beta", config.hybrid.forecast.beta);
+            reader.get("period", config.hybrid.forecast.period);
+            reader.get("horizon", config.hybrid.forecast.horizon);
+            reader.get("target_util",
+                       config.hybrid.forecast.target_utilization);
+            reader.get("scale_in_fraction",
+                       config.hybrid.forecast.scale_in_fraction);
+            reader.get("cooldown", config.hybrid.forecast.cooldown);
+            reader.get("adapt_period", config.hybrid.periodic_adapt);
+            reader.get("headroom", config.conscale_headroom);
+            reader.finish();
+          },
+      .build =
+          [](const ControllerBuildContext& ctx) {
+            FrameworkParts parts;
+            parts.estimator = std::make_unique<ConcurrencyEstimatorService>(
+                ctx.sim, ctx.system, ctx.warehouse, ctx.config.estimator,
+                ctx.run_context);
+            parts.policy = std::make_unique<ConScalePolicy>(
+                ctx.system, ctx.sw, ctx.config.targets, *parts.estimator,
+                ctx.config.conscale_headroom);
+            parts.controller = std::make_unique<HybridController>(
+                ctx.sim, ctx.system, ctx.warehouse, ctx.hw, *parts.policy,
+                ctx.config.hybrid);
+            return parts;
+          },
+  };
+}
+
 }  // namespace
 
 void register_zoo_controllers(ControllerRegistry& registry) {
@@ -146,6 +187,7 @@ void register_zoo_controllers(ControllerRegistry& registry) {
   registry.register_spec(fuzzy_spec());
   registry.register_spec(vertical_spec());
   registry.register_spec(holt_winters_spec());
+  registry.register_spec(hybrid_spec());
 }
 
 }  // namespace conscale::zoo

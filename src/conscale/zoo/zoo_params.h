@@ -83,4 +83,16 @@ struct PredictiveControllerParams {
   SimDuration cooldown = 10.0;  ///< per-tier quiet period after any action
 };
 
+/// Hybrid proactive/adaptive autoscaler: the Holt-Winters forecast drives
+/// the hardware loop while ConScale's SCT-backed policy re-fits soft
+/// resources at every hardware action and on a slow periodic cadence —
+/// the zoo's two complementary halves composed (see hybrid_controller.h).
+struct HybridControllerParams {
+  PredictiveControllerParams forecast;  ///< hardware-loop knobs, shared
+  /// Periodic soft-adapt cadence [s]; 0 = adapt at hardware actions only.
+  /// Matches the builtin frameworks' ControllerConfig::periodic_adapt
+  /// default wiring (make_framework_config uses 10 s).
+  SimDuration periodic_adapt = 10.0;
+};
+
 }  // namespace conscale

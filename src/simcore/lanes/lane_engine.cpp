@@ -1,0 +1,182 @@
+#include "simcore/lanes/lane_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace conscale::lanes {
+
+namespace {
+
+/// Heap order for the pending-message min-heap: earliest delivery first.
+/// Ties need no order here — delivery injects keyed events, and the
+/// destination queue orders equal times by (stream, seq) regardless of
+/// injection order.
+bool later_delivery(const LaneMessage& a, const LaneMessage& b) {
+  return a.deliver_time > b.deliver_time;
+}
+
+}  // namespace
+
+LaneEngine::LaneEngine(Options options) : lookahead_(options.lookahead) {
+  if (options.lanes == 0) options.lanes = 1;
+  if (!(lookahead_ > 0.0)) {
+    throw std::invalid_argument(
+        "LaneEngine: lookahead must be > 0 (conservative synchronization "
+        "needs a positive cross-lane delay floor)");
+  }
+  lanes_.reserve(options.lanes);
+  for (std::size_t i = 0; i < options.lanes; ++i) {
+    lanes_.push_back(std::make_unique<Lane>(i));
+  }
+  worker_errors_.resize(options.lanes);
+}
+
+LaneEngine::~LaneEngine() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void LaneEngine::post(std::size_t from, std::size_t dest,
+                      SimTime deliver_time, std::uint64_t stream,
+                      std::uint64_t seq, EventCallback fn) {
+  if (dest >= lanes_.size()) {
+    throw std::out_of_range("LaneEngine::post: no such destination lane");
+  }
+  lanes_[from]->outbox_.push_back(
+      LaneMessage{deliver_time, stream, seq, dest, std::move(fn)});
+}
+
+void LaneEngine::start_workers() {
+  if (!workers_.empty() || lanes_.size() == 1) return;
+  workers_.reserve(lanes_.size() - 1);
+  for (std::size_t i = 1; i < lanes_.size(); ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void LaneEngine::worker_loop(std::size_t lane_index) {
+  Lane& lane = *lanes_[lane_index];
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    SimTime bound;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || window_generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = window_generation_;
+      bound = window_bound_;
+    }
+    try {
+      lane.sim().run_before(bound);
+    } catch (...) {
+      worker_errors_[lane_index] = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--workers_running_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void LaneEngine::run_window(SimTime bound) {
+  if (lanes_.size() == 1) {
+    lanes_[0]->sim().run_before(bound);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    window_bound_ = bound;
+    workers_running_ = lanes_.size() - 1;
+    ++window_generation_;
+  }
+  start_cv_.notify_all();
+  // Lane 0 (the system lane in the laned runners — typically the heaviest)
+  // runs on the coordinating thread while the workers run theirs.
+  lanes_[0]->sim().run_before(bound);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return workers_running_ == 0; });
+  }
+  for (std::exception_ptr& error : worker_errors_) {
+    if (error) {
+      const std::exception_ptr raised = std::exchange(error, nullptr);
+      std::rethrow_exception(raised);
+    }
+  }
+}
+
+void LaneEngine::deliver_pending(SimTime bound) {
+  while (!pending_.empty() && pending_.front().deliver_time < bound) {
+    std::pop_heap(pending_.begin(), pending_.end(), later_delivery);
+    LaneMessage message = std::move(pending_.back());
+    pending_.pop_back();
+    lanes_[message.dest]->sim().schedule_keyed(
+        message.deliver_time, message.stream, message.seq,
+        std::move(message.fn));
+  }
+}
+
+void LaneEngine::collect_outboxes(SimTime bound) {
+  for (const std::unique_ptr<Lane>& lane : lanes_) {
+    for (LaneMessage& message : lane->outbox_) {
+      if (message.deliver_time < bound) {
+        std::ostringstream what;
+        what << "lane " << lane->index() << " lookahead violation: message "
+             << "(stream " << message.stream << ", seq " << message.seq
+             << ") delivers at " << message.deliver_time
+             << " inside the current window (bound " << bound
+             << ", lookahead " << lookahead_
+             << ") — a cross-lane channel carries less delay than the "
+                "engine's window";
+        throw std::runtime_error(what.str());
+      }
+      ++stats_.messages;
+      pending_.push_back(std::move(message));
+      std::push_heap(pending_.begin(), pending_.end(), later_delivery);
+    }
+    lane->outbox_.clear();
+  }
+}
+
+void LaneEngine::run(SimTime duration) {
+  // Events scheduled at exactly `duration` must execute (run_until
+  // semantics), so the final exclusive bound is the next double above it.
+  const SimTime end_bound =
+      std::nextafter(duration, std::numeric_limits<SimTime>::infinity());
+  start_workers();
+  // Messages posted during model construction (before any window) enter the
+  // routing heap here; deliver_time >= 0 + lookahead, so nothing is due yet.
+  collect_outboxes(0.0);
+  for (;;) {
+    SimTime t_next = std::numeric_limits<SimTime>::infinity();
+    for (const std::unique_ptr<Lane>& lane : lanes_) {
+      t_next = std::min(t_next, lane->sim().next_event_time());
+    }
+    if (!pending_.empty()) {
+      t_next = std::min(t_next, pending_.front().deliver_time);
+    }
+    if (t_next >= end_bound) break;
+    const SimTime bound = std::min(t_next + lookahead_, end_bound);
+    deliver_pending(bound);
+    run_window(bound);
+    collect_outboxes(bound);
+    ++stats_.windows;
+  }
+  stats_.events = 0;
+  for (const std::unique_ptr<Lane>& lane : lanes_) {
+    lane->sim().advance_to(duration);
+    stats_.events += lane->sim().events_executed();
+  }
+}
+
+}  // namespace conscale::lanes

@@ -1,0 +1,152 @@
+// LaneEngine: conservative-synchronization parallel DES (DESIGN.md §6.6).
+//
+// One run's event loop is partitioned into `lanes` — each lane owns a full
+// Simulation (its own event arena, queue and clock: the arena sharding) and
+// hosts a disjoint set of model components. Lanes interact only through
+// timestamped inter-lane messages carrying at least the model's lookahead
+// window `L` of delay (the client<->frontend network latency in the laned
+// runners). The engine repeats a time-window barrier round:
+//
+//   1. t_next  = earliest activity anywhere (lane events + pending messages)
+//   2. bound   = min(t_next + L, end)
+//   3. deliver every pending message with deliver_time < bound into its
+//      destination lane as a *keyed* event
+//   4. every lane executes its events with time < bound — in parallel
+//   5. collect the messages each lane posted; any with deliver_time < bound
+//      is a lookahead violation (the model sent with delay < L) and throws
+//
+// Safety: a message posted at send >= t_next with delay >= L delivers at
+// send+delay >= t_next+L >= bound (floating-point addition is monotone), so
+// nothing a lane does inside a window can affect that same window — each
+// lane's window execution is causally closed.
+//
+// Determinism (the lanes=1 vs lanes=K bit-for-bit contract): every lane
+// actor schedules its events and stamps its messages with a canonical
+// (time, stream, seq) key — the stream id is globally unique per actor and
+// the seq a per-actor counter, so keys never depend on which lane (or how
+// many lanes) the actor landed in. Within one Simulation, keyed events
+// execute in key order; across Simulations, same-time events belong to
+// non-interacting components (interaction = a message, and messages carry
+// their origin's canonical key), so their relative order is unobservable.
+// Running the identical window schedule with K=1 therefore replays the
+// exact same state evolution byte for byte — with zero threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/time_units.h"
+#include "simcore/simulation.h"
+
+namespace conscale::lanes {
+
+/// A timestamped cross-lane interaction. `stream`/`seq` are the *origin*
+/// actor's canonical key; the destination lane schedules the callback as a
+/// keyed event under exactly this key, so delivery order at equal times is
+/// a property of the model, not of the partition.
+struct LaneMessage {
+  SimTime deliver_time = 0.0;
+  std::uint64_t stream = 0;
+  std::uint64_t seq = 0;
+  std::size_t dest = 0;
+  EventCallback fn;
+};
+
+struct LaneEngineStats {
+  std::uint64_t windows = 0;   ///< barrier rounds executed
+  std::uint64_t messages = 0;  ///< cross-lane messages routed
+  std::uint64_t events = 0;    ///< events executed, summed over lanes
+};
+
+/// One partition of the run: a self-contained Simulation plus the outbox
+/// the engine drains at every barrier. The outbox is touched only by the
+/// lane's executing thread during a window and by the coordinator between
+/// windows; the barrier's mutex orders the two.
+class Lane {
+ public:
+  explicit Lane(std::size_t index) : index_(index) {}
+  Lane(const Lane&) = delete;
+  Lane& operator=(const Lane&) = delete;
+
+  Simulation& sim() { return sim_; }
+  std::size_t index() const { return index_; }
+
+ private:
+  friend class LaneEngine;
+  std::size_t index_;
+  Simulation sim_;
+  std::vector<LaneMessage> outbox_;
+};
+
+class LaneEngine {
+ public:
+  struct Options {
+    std::size_t lanes = 1;
+    /// The synchronization window: no cross-lane message may carry less
+    /// than this much delay (derive it with LookaheadAnalysis::window()).
+    /// Must be > 0 — zero lookahead admits no conservative parallelism.
+    SimDuration lookahead = 0.0;
+  };
+
+  explicit LaneEngine(Options options);
+  ~LaneEngine();
+  LaneEngine(const LaneEngine&) = delete;
+  LaneEngine& operator=(const LaneEngine&) = delete;
+
+  std::size_t lane_count() const { return lanes_.size(); }
+  Lane& lane(std::size_t index) { return *lanes_[index]; }
+  SimDuration lookahead() const { return lookahead_; }
+
+  /// Hands out the next globally-unique actor stream id (starts at 1; 0 is
+  /// the plain-event group). Allocation order must be partition-independent:
+  /// construct actors in a fixed order regardless of the lane count.
+  std::uint64_t new_stream() { return next_stream_++; }
+
+  /// Posts a message from `from` (which must be the lane currently
+  /// executing, or any lane between windows). `deliver_time` must be at
+  /// least a full lookahead window in the future; violations are detected
+  /// at the next barrier and throw. Prefer LaneActor::post.
+  void post(std::size_t from, std::size_t dest, SimTime deliver_time,
+            std::uint64_t stream, std::uint64_t seq, EventCallback fn);
+
+  /// Runs every lane to `duration` (inclusive, like Simulation::run_until)
+  /// under the window-barrier loop, then parks every lane clock at
+  /// `duration`. Throws std::runtime_error on a lookahead violation and
+  /// rethrows the first model exception raised on a worker lane.
+  void run(SimTime duration);
+
+  const LaneEngineStats& stats() const { return stats_; }
+
+ private:
+  void start_workers();
+  void run_window(SimTime bound);
+  void deliver_pending(SimTime bound);
+  void collect_outboxes(SimTime bound);
+  void worker_loop(std::size_t lane_index);
+
+  SimDuration lookahead_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::uint64_t next_stream_ = 1;
+  /// Min-heap (by deliver_time) of routed-but-undelivered messages. Only
+  /// the coordinator touches it, always between windows.
+  std::vector<LaneMessage> pending_;
+  LaneEngineStats stats_;
+
+  // --- worker pool (lanes 1..K-1; lane 0 runs on the caller's thread) ---
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t window_generation_ = 0;
+  SimTime window_bound_ = 0.0;
+  std::size_t workers_running_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::exception_ptr> worker_errors_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace conscale::lanes

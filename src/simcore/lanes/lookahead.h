@@ -1,0 +1,68 @@
+// Lookahead analysis for the lane-partitioned PDES engine (DESIGN.md §6.6).
+//
+// Conservative parallel DES is only correct when a lane can prove that no
+// other lane will send it a message "from the past". The proof currency is
+// *lookahead*: the minimum model delay on every cross-lane channel. This
+// module collects the model's natural delays (client<->frontend network
+// latency, VM preparation/boot delay, monitoring periods), derives the safe
+// synchronization window, and recommends a barrier protocol:
+//
+//   kTimeWindow    one global window of length min-channel-delay per round;
+//                  every lane runs [W, W+L) in parallel, messages created in
+//                  the window deliver at >= W+L by construction. Optimal when
+//                  channel delays are near-uniform (a star topology where
+//                  every channel has the same latency loses nothing to the
+//                  global min) — which is exactly the shape of this model's
+//                  profitable cut (session shards <-> system gateway).
+//   kNullMessage   per-pair lookahead via Chandy-Misra-Bryant null messages.
+//                  Pays off only when delays are strongly skewed, so distant
+//                  lane pairs can run far ahead of the global min; costs a
+//                  null-message flood on low-lookahead pairs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time_units.h"
+
+namespace conscale::lanes {
+
+/// One model delay feeding the analysis. `is_channel` marks delays that
+/// cross-lane messages actually traverse (these bound the window); sources
+/// with `is_channel = false` (VM prep delay, monitoring periods) document
+/// additional slack but cannot relax the window on their own.
+struct LookaheadSource {
+  std::string name;
+  SimDuration delay = 0.0;
+  bool is_channel = true;
+};
+
+class LookaheadAnalysis {
+ public:
+  enum class Protocol { kTimeWindow, kNullMessage };
+
+  void add_source(std::string name, SimDuration delay, bool is_channel = true);
+
+  /// The safe synchronization window: the minimum positive channel delay,
+  /// or 0 when no channel source was added (no safe parallel execution).
+  SimDuration window() const;
+
+  /// Ratio of the largest to the smallest channel delay (1 when uniform).
+  double channel_skew() const;
+
+  /// Protocol choice: time-window barriers while channel delays are within
+  /// `skew_threshold` of each other, null messages beyond it (see header).
+  Protocol recommended(double skew_threshold = 4.0) const;
+
+  const std::vector<LookaheadSource>& sources() const { return sources_; }
+
+  /// Human-readable report (bench_scale prints it; tests pin the window).
+  std::string summary() const;
+
+ private:
+  std::vector<LookaheadSource> sources_;
+};
+
+std::string to_string(LookaheadAnalysis::Protocol protocol);
+
+}  // namespace conscale::lanes

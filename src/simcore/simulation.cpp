@@ -1,6 +1,7 @@
 #include "simcore/simulation.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 namespace conscale {
@@ -8,8 +9,18 @@ namespace conscale {
 EventHandle Simulation::schedule_at(SimTime when, EventCallback callback) {
   const std::uint32_t slot = arena_.allocate(std::move(callback));
   const std::uint32_t generation = arena_.generation(slot);
-  queue_.push(QueuedEvent{std::max(when, now_), next_sequence_++, slot,
+  queue_.push(QueuedEvent{std::max(when, now_), 0, next_sequence_++, slot,
                           generation});
+  ++live_events_;
+  return EventHandle(&arena_, slot, generation);
+}
+
+EventHandle Simulation::schedule_keyed(SimTime when, std::uint64_t group,
+                                       std::uint64_t seq,
+                                       EventCallback callback) {
+  const std::uint32_t slot = arena_.allocate(std::move(callback));
+  const std::uint32_t generation = arena_.generation(slot);
+  queue_.push(QueuedEvent{std::max(when, now_), group, seq, slot, generation});
   ++live_events_;
   return EventHandle(&arena_, slot, generation);
 }
@@ -57,6 +68,28 @@ void Simulation::run_until(SimTime deadline) {
     step();
   }
   now_ = std::max(now_, deadline);
+}
+
+void Simulation::run_before(SimTime bound) {
+  while (!queue_.empty()) {
+    if (arena_.cancelled(queue_.top().slot)) {
+      pop_and_release();
+      continue;
+    }
+    if (queue_.top().time >= bound) break;
+    step();
+  }
+}
+
+SimTime Simulation::next_event_time() {
+  while (!queue_.empty()) {
+    if (arena_.cancelled(queue_.top().slot)) {
+      pop_and_release();
+      continue;
+    }
+    return queue_.top().time;
+  }
+  return std::numeric_limits<SimTime>::infinity();
 }
 
 void Simulation::run_all() {

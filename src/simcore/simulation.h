@@ -4,9 +4,12 @@
 // trivially race-free substrate. Each Simulation is fully self-contained
 // (its event arena and queue are instance state, no globals), so
 // independent runs are thread-safe by isolation and can execute
-// concurrently — see experiments/parallel.h for the run-level fan-out.
+// concurrently — see experiments/parallel.h for the run-level fan-out, and
+// simcore/lanes/ for the intra-run fan-out that runs several Simulations
+// (one per lane) under a conservative window barrier.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <queue>
 #include <vector>
@@ -32,9 +35,37 @@ class Simulation {
   /// Schedules `callback` after `delay` seconds (negative clamps to 0).
   EventHandle schedule_after(SimDuration delay, EventCallback callback);
 
+  /// Schedules `callback` under an explicit ordering key. Events execute in
+  /// (time, group, seq) order; plain schedule_at/schedule_after events carry
+  /// group 0 and the kernel's arrival counter, so at equal times they run
+  /// before every keyed event and keep their historical relative order.
+  /// Keyed events exist for the lane engine (simcore/lanes/): a lane actor
+  /// keys its events by its globally-unique stream id and a per-stream
+  /// counter, which makes same-time ordering a property of the *model*
+  /// rather than of which Simulation instance the event landed in — the
+  /// bit-for-bit lanes=1 vs lanes=K contract rests on this. `group` must be
+  /// non-zero and (group, seq) pairs must never repeat at the same time.
+  EventHandle schedule_keyed(SimTime when, std::uint64_t group,
+                             std::uint64_t seq, EventCallback callback);
+
   /// Runs events until the queue is empty or the next event is after
   /// `deadline`; the clock is left at min(deadline, last event time).
   void run_until(SimTime deadline);
+
+  /// Executes every event with time strictly below `bound` and stops; the
+  /// clock is left at the last executed event (never advanced to `bound`).
+  /// This is the lane engine's window primitive: events at or after the
+  /// window edge stay queued for later windows.
+  void run_before(SimTime bound);
+
+  /// Time of the earliest live (non-cancelled) event, or +infinity when the
+  /// queue is empty. Prunes cancelled heads as a side effect.
+  SimTime next_event_time();
+
+  /// Advances the clock to `t` without executing anything (no-op if `t` is
+  /// in the past). The lane engine uses this to park every lane exactly at
+  /// the run's end time after the final window.
+  void advance_to(SimTime t) { now_ = std::max(now_, t); }
 
   /// Convenience: run_until(now() + duration).
   void run_for(SimDuration duration) { run_until(now_ + duration); }
@@ -51,11 +82,13 @@ class Simulation {
  private:
   struct QueuedEvent {
     SimTime time;
-    std::uint64_t sequence;
+    std::uint64_t group;     ///< 0 = plain event; >0 = keyed stream id
+    std::uint64_t sequence;  ///< arrival counter (plain) or stream seq (keyed)
     std::uint32_t slot;
     std::uint32_t generation;
     bool operator>(const QueuedEvent& other) const {
       if (time != other.time) return time > other.time;
+      if (group != other.group) return group > other.group;
       return sequence > other.sequence;
     }
   };

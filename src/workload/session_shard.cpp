@@ -1,0 +1,118 @@
+#include "workload/session_shard.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace conscale {
+
+SessionShard::SessionShard(lanes::LaneEngine& engine, std::size_t lane,
+                           std::size_t shard_index, std::size_t shard_count,
+                           const WorkloadTrace& trace, const RequestMix& mix,
+                           ShardGateway& gateway, std::size_t gateway_lane,
+                           Params params)
+    : LaneActor(engine, lane), shard_index_(shard_index),
+      shard_count_(std::max<std::size_t>(shard_count, 1)), trace_(trace),
+      mix_(mix), gateway_(gateway), gateway_lane_(gateway_lane),
+      params_(params), rng_(params.seed) {
+  adjust_population(sim().now());
+  arm_adjust();
+}
+
+// Keyed periodic tracking loop (PeriodicTask would draw plain-event
+// sequence numbers, which are not partition-independent).
+void SessionShard::arm_adjust() {
+  schedule_after(params_.adjust_period, [this] {
+    adjust_population(sim().now());
+    arm_adjust();
+  });
+}
+
+std::uint64_t SessionShard::share_of(std::uint64_t total) const {
+  const auto s = static_cast<std::uint64_t>(shard_count_);
+  const auto i = static_cast<std::uint64_t>(shard_index_);
+  return total * (i + 1) / s - total * i / s;
+}
+
+void SessionShard::adjust_population(SimTime now) {
+  const auto total = static_cast<std::uint64_t>(
+      std::llround(std::max(trace_.users_at(now), 0.0)));
+  const std::size_t target = static_cast<std::size_t>(share_of(total));
+  const std::size_t active = active_users();
+  const std::size_t alive = active - std::min(retire_pending_, active);
+  if (target > alive) {
+    const std::size_t to_spawn = target - alive;
+    const std::size_t cancelled = std::min(retire_pending_, to_spawn);
+    retire_pending_ -= cancelled;
+    for (std::size_t i = 0; i < to_spawn - cancelled; ++i) spawn_user();
+  } else if (target < alive) {
+    retire_pending_ += alive - target;
+  }
+}
+
+void SessionShard::spawn_user() {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(users_.size());
+    users_.emplace_back();
+  }
+  users_[slot] = User{};
+  users_[slot].live = true;
+  user_think(slot);
+}
+
+void SessionShard::user_think(std::uint32_t slot) {
+  if (maybe_retire(slot)) return;
+  const double think = params_.think_time_mean > 0.0
+                           ? rng_.exponential(params_.think_time_mean)
+                           : 0.0;
+  users_[slot].think_event =
+      schedule_after(think, [this, slot] { user_submit(slot); });
+}
+
+void SessionShard::user_submit(std::uint32_t slot) {
+  if (maybe_retire(slot)) return;
+  User& user = users_[slot];
+  user.in_flight = true;
+  user.issued_at = sim().now();
+
+  RequestContext ctx;
+  // Request ids carry the shard in the high bits so they stay globally
+  // unique and partition-independent without any cross-shard coordination.
+  ctx.id = (static_cast<std::uint64_t>(shard_index_ + 1) << 40) |
+           next_request_id_++;
+  ctx.request_class = &mix_.pick(rng_);
+  ctx.issued_at = user.issued_at;
+  ++issued_;
+
+  post(gateway_lane_, params_.net_delay,
+       [gateway = &gateway_, ctx, this, slot] {
+         gateway->on_request(ctx, *this, slot);
+       });
+}
+
+void SessionShard::on_reply(std::uint32_t user_slot, RequestOutcome outcome) {
+  User& user = users_[user_slot];
+  user.in_flight = false;
+  if (outcome == RequestOutcome::kServed) {
+    ++completed_;
+    rt_histogram_.add(sim().now() - user.issued_at);
+  } else {
+    ++rejected_;
+  }
+  user_think(user_slot);
+}
+
+bool SessionShard::maybe_retire(std::uint32_t slot) {
+  if (retire_pending_ == 0) return false;
+  --retire_pending_;
+  User& user = users_[slot];
+  user.think_event.cancel();
+  user.live = false;
+  free_slots_.push_back(slot);
+  return true;
+}
+
+}  // namespace conscale

@@ -36,12 +36,14 @@ def run_gate(benchmarks):
 
 
 def healthy():
-    """A run where both gated ratios sit comfortably inside their bounds."""
+    """A run where every gated ratio sits comfortably inside its bound."""
     return [
         bench("BM_PsResourceChurn/4", 1.0e7),
         bench("BM_PsResourceChurn/2048", 2.5e6),        # 4x (bound 10x)
         bench("BM_WarehouseIngestQuery/3600", 5.0e6),
         bench("BM_WarehouseIngestQuery/14400", 2.0e6),  # 2.5x (bound 6x)
+        bench("BM_LaneSessionChurn/4096", 1.1e7),
+        bench("BM_LaneSessionChurn/65536", 8.8e6),      # 1.25x (bound 5x)
     ]
 
 

@@ -29,6 +29,10 @@ import sys
 GATES = [
     ("BM_PsResourceChurn/4", "BM_PsResourceChurn/2048", 10.0),
     ("BM_WarehouseIngestQuery/3600", "BM_WarehouseIngestQuery/14400", 6.0),
+    # Lane-engine per-event cost: 16x more closed-loop sessions may pay a
+    # heap log factor (~1.3x in theory, a few x with cache effects), never a
+    # linear one — an O(n) scan per event would sit at 16x minimum.
+    ("BM_LaneSessionChurn/4096", "BM_LaneSessionChurn/65536", 5.0),
 ]
 
 

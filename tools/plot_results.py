@@ -121,14 +121,23 @@ def plot_nodes(paths, output):
     percentiles = ["p50_ms", "p95_ms", "p99_ms"]
     fig, ax = plt.subplots(figsize=(9, 5))
     hatches = [None, "//", "..", "xx"]
-    nodes = None
     width = 0.8 / (len(percentiles) * len(paths))
-    for f, path in enumerate(paths):
+    # Union of node lists across every input, in first-appearance order: a
+    # node present in only some files (topologies differ, or a cache node
+    # never served) still gets its group, with zero bars where absent —
+    # taking the first file's list would silently drop the others' nodes.
+    all_rows = []
+    nodes = []
+    for path in paths:
         rows = read_csv_raw(path)
         if not rows:
             raise SystemExit(f"{path}: empty CSV")
-        if nodes is None:
-            nodes = [row["node"] for row in rows]
+        all_rows.append(rows)
+        for row in rows:
+            if row["node"] not in nodes:
+                nodes.append(row["node"])
+    for f, path in enumerate(paths):
+        rows = all_rows[f]
         label_base = os.path.splitext(os.path.basename(path))[0]
         by_node = {row["node"]: row for row in rows}
         for j, pct in enumerate(percentiles):
