@@ -38,6 +38,10 @@ struct BenchEnv {
   /// (experiments/laned_runner.h). 1 = serial reference execution; results
   /// are byte-identical for every value (DESIGN.md §6.6).
   std::size_t lanes = 1;
+  /// True when the command line said `lanes=auto`: the bench should let the
+  /// laned runner autotune the shard count (LanedRunOptions::shards = 0)
+  /// and derive its lane count from the chosen plan.
+  bool lanes_auto = false;
   /// Optional fault schedule (faults= inline text, or faults=@file); empty
   /// for the standard fault-free benches. Applied to every scaling run
   /// (run_all / scaling_options); profiling and scatter benches have no
@@ -63,8 +67,15 @@ struct BenchEnv {
     env.csv_dir = config.get_string("csv_dir", "");
     const long long jobs = config.get_int("jobs", 0);
     env.jobs = jobs > 0 ? static_cast<std::size_t>(jobs) : 0;
-    const long long lanes = config.get_int("lanes", 1);
-    env.lanes = lanes > 0 ? static_cast<std::size_t>(lanes) : 1;
+    // `lanes` accepts "auto" (shard/lane plan from the model parameters),
+    // so it must be read as a string before any numeric parse.
+    const std::string lanes_text = config.get_string("lanes", "1");
+    if (lanes_text == "auto") {
+      env.lanes_auto = true;
+    } else {
+      const long long lanes = config.get_int("lanes", 1);
+      env.lanes = lanes > 0 ? static_cast<std::size_t>(lanes) : 1;
+    }
     const std::string faults = config.get_string("faults", "");
     if (!faults.empty()) {
       if (faults.front() == '@') {

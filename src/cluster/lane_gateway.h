@@ -72,6 +72,11 @@ class LaneGateway final : public ShardGateway, public lanes::LaneActor {
   void on_request(const RequestContext& ctx, SessionShard& from,
                   std::uint32_t user_slot) override;
 
+  /// The client<->frontend one-way latency this gateway models. The laned
+  /// runners validate it against the LookaheadAnalysis channel delay and
+  /// the shards' configured delay, so the three cannot silently diverge.
+  SimDuration net_delay() const { return params_.net_delay; }
+
   std::uint64_t forwarded() const { return forwarded_; }
   std::uint64_t served() const { return served_; }
   std::uint64_t rejected() const { return rejected_; }

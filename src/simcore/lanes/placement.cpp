@@ -1,0 +1,129 @@
+#include "simcore/lanes/placement.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace conscale::lanes {
+
+namespace {
+
+std::size_t find_root(std::vector<std::size_t>& parent, std::size_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+}  // namespace
+
+std::string LanePlan::summary(
+    const std::vector<std::string>& node_names) const {
+  std::ostringstream out;
+  out << lane_count << (lane_count == 1 ? " lane:" : " lanes:");
+  for (std::size_t lane = 0; lane < lane_count; ++lane) {
+    out << " [";
+    bool first = true;
+    for (std::size_t node = 0; node < lane_of.size(); ++node) {
+      if (lane_of[node] != lane) continue;
+      if (!first) out << ' ';
+      first = false;
+      if (node < node_names.size()) {
+        out << node_names[node];
+      } else {
+        out << '#' << node;
+      }
+    }
+    out << "]=" << lane_weight[lane];
+  }
+  return out.str();
+}
+
+std::size_t TierLanePlacement::add_node(std::string name,
+                                        double event_weight) {
+  names_.push_back(std::move(name));
+  weights_.push_back(event_weight);
+  return names_.size() - 1;
+}
+
+void TierLanePlacement::add_edge(std::size_t a, std::size_t b,
+                                 SimDuration delay) {
+  if (a >= names_.size() || b >= names_.size()) {
+    throw std::out_of_range("TierLanePlacement::add_edge: no such node");
+  }
+  edges_.push_back(Edge{a, b, delay});
+}
+
+LanePlan TierLanePlacement::plan(SimDuration min_cut_delay,
+                                 std::size_t max_lanes) const {
+  const std::size_t n = names_.size();
+  LanePlan out;
+  out.lane_of.assign(n, 0);
+  if (n == 0) return out;
+
+  // Phase 1: merge across uncuttable edges (no lookahead to exploit).
+  std::vector<std::size_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  for (const Edge& edge : edges_) {
+    if (edge.delay > 0.0 && edge.delay >= min_cut_delay) continue;
+    parent[find_root(parent, edge.a)] = find_root(parent, edge.b);
+  }
+
+  // Dense cluster ids in first-node order (partition-count independent).
+  constexpr std::size_t kUnset = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> cluster_of_root(n, kUnset);
+  std::vector<std::size_t> cluster(n, 0);
+  std::vector<double> weight;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = find_root(parent, i);
+    if (cluster_of_root[root] == kUnset) {
+      cluster_of_root[root] = weight.size();
+      weight.push_back(0.0);
+    }
+    cluster[i] = cluster_of_root[root];
+    weight[cluster[i]] += weights_[i];
+  }
+
+  // Phase 2: weight-pack down to the cap. Repeatedly fold the two lightest
+  // clusters together (ties by lower index), remapping into the lower id —
+  // heavy tiers keep dedicated lanes, cheap ones share.
+  std::vector<std::size_t> remap(weight.size());
+  for (std::size_t c = 0; c < weight.size(); ++c) remap[c] = c;
+  std::size_t live = weight.size();
+  while (max_lanes > 0 && live > max_lanes) {
+    std::size_t lightest = kUnset;
+    std::size_t second = kUnset;
+    for (std::size_t c = 0; c < weight.size(); ++c) {
+      if (remap[c] != c) continue;  // already folded away
+      if (lightest == kUnset || weight[c] < weight[lightest]) {
+        second = lightest;
+        lightest = c;
+      } else if (second == kUnset || weight[c] < weight[second]) {
+        second = c;
+      }
+    }
+    const std::size_t keep = std::min(lightest, second);
+    const std::size_t fold = std::max(lightest, second);
+    weight[keep] += weight[fold];
+    remap[fold] = keep;
+    --live;
+  }
+
+  // Densify the surviving clusters, again in first-appearance order.
+  std::vector<std::size_t> dense(weight.size(), kUnset);
+  out.lane_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t c = cluster[i];
+    while (remap[c] != c) c = remap[c];
+    if (dense[c] == kUnset) {
+      dense[c] = out.lane_count++;
+      out.lane_weight.push_back(weight[c]);
+    }
+    out.lane_of[i] = dense[c];
+  }
+  return out;
+}
+
+}  // namespace conscale::lanes

@@ -1,0 +1,67 @@
+// TierLanePlacement: decides which model components share a lane
+// (DESIGN.md §6.6). The partition is a *model* parameter — every placement
+// yields identical results — so the planner optimizes only wall-clock:
+//
+//   * an edge with delay below the cut floor carries no usable lookahead, so
+//     its endpoints must share a lane (cutting it would force zero-width
+//     windows);
+//   * every remaining connected cluster gets its own lane;
+//   * when the caller caps the lane count, the lightest clusters are merged
+//     pairwise (by declared event weight) until the plan fits — packing the
+//     heavy tiers onto dedicated lanes and folding the cheap ones together.
+//
+// Numbering is deterministic: clusters are indexed by the first node (in
+// insertion order) they contain, and merges always fold the lighter (then
+// higher-indexed) cluster into the lighter pair's lower index.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/time_units.h"
+
+namespace conscale::lanes {
+
+/// The planner's output: node -> lane cluster, densely numbered from 0.
+struct LanePlan {
+  std::vector<std::size_t> lane_of;
+  std::size_t lane_count = 0;
+  std::vector<double> lane_weight;
+
+  /// Human-readable plan ("3 lanes: [web]=1.0 [app db]=2.4 ...") for
+  /// LaneRunInfo logging and tests.
+  std::string summary(const std::vector<std::string>& node_names) const;
+};
+
+class TierLanePlacement {
+ public:
+  /// Registers a component; `event_weight` is any monotone proxy for its
+  /// event rate (VM count, expected arrivals). Returns the node id.
+  std::size_t add_node(std::string name, double event_weight);
+
+  /// Declares a communication edge with the minimum model delay between the
+  /// two components (direction is irrelevant for placement).
+  void add_edge(std::size_t a, std::size_t b, SimDuration delay);
+
+  std::size_t node_count() const { return names_.size(); }
+  const std::vector<std::string>& node_names() const { return names_; }
+
+  /// Computes the placement. Edges with delay < `min_cut_delay` (or <= 0)
+  /// are uncuttable and merge their endpoints; `max_lanes` > 0 caps the
+  /// cluster count by weight-packing (0 = unlimited).
+  LanePlan plan(SimDuration min_cut_delay, std::size_t max_lanes = 0) const;
+
+ private:
+  struct Edge {
+    std::size_t a = 0;
+    std::size_t b = 0;
+    SimDuration delay = 0.0;
+  };
+
+  std::vector<std::string> names_;
+  std::vector<double> weights_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace conscale::lanes

@@ -1,0 +1,95 @@
+// TierLanePlacement unit tests: uncuttable-edge merging, deterministic
+// cluster numbering, and the weight-packing fold under a lane cap.
+#include "simcore/lanes/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace conscale::lanes {
+namespace {
+
+TEST(TierLanePlacement, DisconnectedNodesGetTheirOwnLanes) {
+  TierLanePlacement placement;
+  placement.add_node("web", 1.0);
+  placement.add_node("app", 2.0);
+  placement.add_node("db", 3.0);
+  const LanePlan plan = placement.plan(/*min_cut_delay=*/0.01);
+  EXPECT_EQ(plan.lane_count, 3u);
+  EXPECT_EQ(plan.lane_of, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(plan.lane_weight, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(TierLanePlacement, EdgesAtOrAboveTheFloorAreCut) {
+  TierLanePlacement placement;
+  placement.add_node("web", 1.0);
+  placement.add_node("app", 1.0);
+  placement.add_node("db", 1.0);
+  placement.add_edge(0, 1, 0.01);
+  placement.add_edge(1, 2, 0.01);
+  // Every edge carries exactly the floor of lookahead: all cuttable.
+  const LanePlan plan = placement.plan(/*min_cut_delay=*/0.01);
+  EXPECT_EQ(plan.lane_count, 3u);
+}
+
+TEST(TierLanePlacement, SubFloorEdgesMergeTheirEndpoints) {
+  TierLanePlacement placement;
+  placement.add_node("web", 1.0);
+  placement.add_node("app", 2.0);
+  placement.add_node("db", 4.0);
+  placement.add_edge(0, 1, 0.001);  // below the floor: no usable lookahead
+  placement.add_edge(1, 2, 0.05);
+  const LanePlan plan = placement.plan(/*min_cut_delay=*/0.01);
+  EXPECT_EQ(plan.lane_count, 2u);
+  EXPECT_EQ(plan.lane_of[0], plan.lane_of[1]);
+  EXPECT_NE(plan.lane_of[1], plan.lane_of[2]);
+  // Clusters are numbered by first contained node: {web,app}=0, {db}=1.
+  EXPECT_EQ(plan.lane_of[0], 0u);
+  EXPECT_EQ(plan.lane_of[2], 1u);
+  EXPECT_DOUBLE_EQ(plan.lane_weight[0], 3.0);
+  EXPECT_DOUBLE_EQ(plan.lane_weight[1], 4.0);
+}
+
+TEST(TierLanePlacement, ZeroDelayEdgesAreAlwaysUncuttable) {
+  TierLanePlacement placement;
+  placement.add_node("a", 1.0);
+  placement.add_node("b", 1.0);
+  placement.add_edge(0, 1, 0.0);
+  const LanePlan plan = placement.plan(/*min_cut_delay=*/0.0);
+  EXPECT_EQ(plan.lane_count, 1u);
+}
+
+TEST(TierLanePlacement, LaneCapFoldsLightestClustersFirst) {
+  TierLanePlacement placement;
+  placement.add_node("web", 8.0);
+  placement.add_node("app", 1.0);
+  placement.add_node("cache", 2.0);
+  placement.add_node("db", 16.0);
+  const LanePlan plan = placement.plan(/*min_cut_delay=*/0.01,
+                                       /*max_lanes=*/3);
+  EXPECT_EQ(plan.lane_count, 3u);
+  // app (1.0) and cache (2.0) are the two lightest: folded together; the
+  // heavy tiers keep dedicated lanes.
+  EXPECT_EQ(plan.lane_of[1], plan.lane_of[2]);
+  EXPECT_NE(plan.lane_of[0], plan.lane_of[1]);
+  EXPECT_NE(plan.lane_of[0], plan.lane_of[3]);
+  std::vector<double> weights = plan.lane_weight;
+  EXPECT_EQ(weights.size(), 3u);
+  EXPECT_DOUBLE_EQ(weights[plan.lane_of[1]], 3.0);
+}
+
+TEST(TierLanePlacement, SummaryNamesEveryLane) {
+  TierLanePlacement placement;
+  placement.add_node("web", 1.0);
+  placement.add_node("app", 2.0);
+  placement.add_edge(0, 1, 0.001);
+  const LanePlan plan = placement.plan(/*min_cut_delay=*/0.01);
+  const std::string text = plan.summary({"web", "app"});
+  EXPECT_NE(text.find("web"), std::string::npos);
+  EXPECT_NE(text.find("app"), std::string::npos);
+  EXPECT_NE(text.find("1 lane"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace conscale::lanes

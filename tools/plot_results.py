@@ -10,6 +10,7 @@ then:
     ./tools/plot_results.py --windows out/resilience_crash_ConScale_windows.csv \\
         out/resilience_crash_ConScale.csv
     ./tools/plot_results.py --resilience out/resilience.csv
+    ./tools/plot_results.py --lanes out/scale_summary.csv
 
 Requires matplotlib (not needed by anything else in the repository).
 """
@@ -160,6 +161,54 @@ def plot_nodes(paths, output):
     print(f"wrote {output}")
 
 
+def plot_lanes(path, output):
+    """Parallel-speedup bars from bench_scale's scale_summary.csv: one group
+    per (topology, framework, mode) cell, one bar for the laned run's
+    speedup over its threads=1 serial reference from the same bench
+    invocation (wall_s ratio; both runs are bit-identical by contract)."""
+    import matplotlib.pyplot as plt
+
+    rows = read_csv_raw(path)
+    if not rows:
+        raise SystemExit(f"{path}: empty CSV")
+    # Pair each laned row with the serial (threads=1) row that follows it in
+    # the same cell; compare=0 runs have no reference and are skipped.
+    cells, serial, laned = [], {}, {}
+    for row in rows:
+        key = (row["topology"], row["framework"], row["mode"])
+        if int(row["threads"]) == 1:
+            serial[key] = float(row["wall_s"])
+        else:
+            laned[key] = (int(row["threads"]), float(row["wall_s"]))
+            if key not in cells:
+                cells.append(key)
+
+    fig, ax = plt.subplots(figsize=(9, 5))
+    labels, speedups, bars = [], [], []
+    for key in cells:
+        if key not in serial or key not in laned:
+            continue
+        threads, wall = laned[key]
+        if wall <= 0.0:
+            continue
+        topology, framework, mode = key
+        labels.append(f"{topology}/{framework}\n{mode} x{threads}")
+        speedups.append(serial[key] / wall)
+    if not labels:
+        raise SystemExit(f"{path}: no laned/serial row pairs to plot")
+    bars = ax.bar(range(len(labels)), speedups, color="tab:blue")
+    ax.bar_label(bars, fmt="%.2fx")
+    ax.axhline(1.0, color="black", linewidth=1, linestyle="--",
+               label="serial reference")
+    ax.set_xticks(range(len(labels)))
+    ax.set_xticklabels(labels)
+    ax.set_ylabel("Speedup over threads=1 [x]")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(output, dpi=150)
+    print(f"wrote {output}")
+
+
 def plot_scatter(paths, output):
     import matplotlib.pyplot as plt
 
@@ -185,6 +234,10 @@ def main():
     parser.add_argument("--resilience", action="store_true",
                         help="treat the input as bench_resilience's "
                              "resilience.csv (per-fault tail-latency bars)")
+    parser.add_argument("--lanes", action="store_true",
+                        help="treat the input as bench_scale's "
+                             "scale_summary.csv (parallel-speedup bars per "
+                             "topology/framework/mode cell)")
     parser.add_argument("--nodes", action="store_true",
                         help="treat inputs as *_nodes.csv from bench_dag / "
                              "bench_cache_sweep (per-node latency bars; "
@@ -203,12 +256,15 @@ def main():
 
     suffix = ("_scatter.png" if args.scatter else
               "_tails.png" if args.resilience else
+              "_speedup.png" if args.lanes else
               "_bars.png" if args.nodes else "_timeline.png")
     output = args.output or (os.path.splitext(args.csvs[0])[0] + suffix)
     if args.scatter:
         plot_scatter(args.csvs, output)
     elif args.resilience:
         plot_resilience(args.csvs[0], output)
+    elif args.lanes:
+        plot_lanes(args.csvs[0], output)
     elif args.nodes:
         plot_nodes(args.csvs, output)
     else:
